@@ -1,0 +1,67 @@
+"""A domain scenario from the paper's introduction: an on-chip network
+carrying processor-to-memory traffic.
+
+The paper motivates flit-reservation flow control with emerging VLSI
+on-chip networks where a few memory controllers serve many cores.  We model
+that as hotspot traffic: every node sends a share of its packets to four
+memory-controller nodes on the mesh's rim, the rest uniformly (cache-to-
+cache).  Hotspots congest the network well below uniform capacity, so flow
+control quality shows up at realistic loads.
+
+The example also exercises the leading-control regime: memory *reply*
+packets know their destination while DRAM is being accessed, so control
+flits can be injected ahead of the data for free -- the paper's own example
+of how to exploit leading control off-chip.
+
+Run:  python examples/onchip_memory_traffic.py
+"""
+
+from repro import FR6, VC8, Mesh2D
+from repro.harness.experiment import build_network
+from repro.sim.kernel import Simulator
+from repro.traffic.patterns import HotspotTraffic
+
+MEMORY_CONTROLLERS = [0, 7, 56, 63]  # the four corners of the 8x8 mesh
+
+
+def run_scenario(config, load: float, lead: int = 0, seed: int = 3):
+    mesh = Mesh2D(8, 8)
+    pattern = HotspotTraffic(mesh, hotspots=MEMORY_CONTROLLERS, hotspot_fraction=0.2)
+    network = build_network(
+        config, load, packet_length=5, seed=seed, mesh=mesh, traffic=pattern
+    )
+    simulator = Simulator(network)
+    simulator.step(1_500)  # warm up
+    network.set_measure_window(1_500, 4_500)
+    simulator.step(3_000)
+    deadline = 40_000
+    while network.measured_outstanding and simulator.cycle < deadline:
+        simulator.step()
+    stats = network.latency_stats
+    return stats.mean, stats.percentile(95), network.measured_outstanding == 0
+
+
+def main() -> None:
+    load = 0.28  # hotspots congest well below uniform capacity
+    print("On-chip memory traffic: 20% of packets target 4 memory controllers")
+    print(f"offered load {load:.0%} of uniform capacity, 5-flit packets\n")
+
+    print(f"{'scheme':34}{'mean lat':>10}{'p95 lat':>10}{'stable':>8}")
+    for label, config in [
+        ("VC8 (virtual channels)", VC8),
+        ("FR6 (fast control wires)", FR6),
+        ("FR6 (leading control, 2-cy lead)", FR6.with_leading_control(2)),
+        ("VC8 (1-cycle wires)", VC8.with_unit_links()),
+    ]:
+        mean, p95, stable = run_scenario(config, load)
+        print(f"{label:34}{mean:>10.1f}{p95:>10.1f}{str(stable):>8}")
+
+    print(
+        "\nUnder hotspot congestion the reservation network keeps scheduling"
+        "\nahead of the data flits, so FR holds lower mean and tail latency"
+        "\nat the same storage budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

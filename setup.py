@@ -1,0 +1,7 @@
+"""Setuptools shim so editable installs work on offline hosts without the
+``wheel`` package (pip's legacy ``--no-use-pep517`` path needs a setup.py).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro -- a reproduction of "Flit-Reservation Flow Control"
+(Li-Shiuan Peh and William J. Dally, HPCA-6, 2000).
+
+The package contains a cycle-accurate flit-level simulator of an on-chip 2-D
+mesh with three complete flow-control implementations -- flit-reservation
+(the paper's contribution), virtual-channel (the baseline), and wormhole --
+plus the paper's analytical storage/bandwidth overhead models and a harness
+that regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import FR6, VC8, run_experiment
+
+    fr = run_experiment(FR6, offered_load=0.5, preset="quick")
+    vc = run_experiment(VC8, offered_load=0.5, preset="quick")
+    print(fr.summary())
+    print(vc.summary())
+"""
+
+from repro.baselines.vc.config import VC8, VC16, VC32, VCConfig
+from repro.baselines.vc.network import VCNetwork
+from repro.baselines.wormhole.network import WormholeConfig, WormholeNetwork
+from repro.core.config import FR6, FR13, FRConfig
+from repro.core.network import FRNetwork
+from repro.harness.experiment import ExperimentResult, build_network, run_experiment
+from repro.harness.saturation import find_saturation, measure_throughput
+from repro.harness.sweep import run_load_sweep
+from repro.sim.kernel import Simulator
+from repro.topology.mesh import Mesh2D
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentResult",
+    "FR6",
+    "FR13",
+    "FRConfig",
+    "FRNetwork",
+    "Mesh2D",
+    "Simulator",
+    "VC8",
+    "VC16",
+    "VC32",
+    "VCConfig",
+    "VCNetwork",
+    "WormholeConfig",
+    "WormholeNetwork",
+    "build_network",
+    "find_saturation",
+    "measure_throughput",
+    "run_experiment",
+    "run_load_sweep",
+    "__version__",
+]

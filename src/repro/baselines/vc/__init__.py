@@ -1,0 +1,16 @@
+"""Virtual-channel flow control (Dally, 1992).
+
+The paper's baseline: each physical channel multiplexes ``num_vcs`` virtual
+channels, each with its own flit queue and credit-based backpressure, so a
+blocked packet no longer monopolises the physical channel.  The router is a
+single-stage pipeline (routing, VC allocation and switch arbitration resolve
+in the cycle after a flit arrives) matching the base latencies the paper
+reports; see DESIGN.md section 3 for the calibration.
+"""
+
+from repro.baselines.vc.config import VCConfig
+from repro.baselines.vc.flits import VCFlit
+from repro.baselines.vc.network import VCNetwork
+from repro.baselines.vc.router import VCRouter
+
+__all__ = ["VCConfig", "VCFlit", "VCNetwork", "VCRouter"]

@@ -1,0 +1,90 @@
+"""The node interface (NI) for the virtual-channel network.
+
+The NI holds an unbounded source queue of packets (source queueing time is
+part of the paper's latency definition), expands the packet at the front
+into flits, claims an injection virtual channel, and feeds the router's
+local input port at one flit per cycle, subject to the same credit rules as
+any other input.  On-node wiring is short, so NI credits return without link
+delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.baselines.vc.config import VCConfig
+from repro.baselines.vc.flits import VCFlit, packet_to_flits
+from repro.baselines.vc.router import VCRouter
+from repro.sim.rng import DeterministicRng
+from repro.topology.mesh import INJECT
+from repro.traffic.packet import Packet
+
+
+class VCNodeInterface:
+    """Injects packets into one router's local input port."""
+
+    def __init__(self, router: VCRouter, config: VCConfig, rng: DeterministicRng) -> None:
+        self.router = router
+        self.config = config
+        self.rng = rng
+        self.packet_queue: deque[Packet] = deque()
+        self._pending: deque[VCFlit] = deque()
+        self._inject_vc = -1
+        self._credits = [config.buffers_per_vc] * config.num_vcs
+        self._shared_credits = config.buffers_per_input - config.num_vcs
+        self._owned = [False] * config.num_vcs
+        router.ni_credit = self._credit_return
+
+    def enqueue(self, packet: Packet) -> None:
+        """Accept a freshly created packet into the source queue."""
+        self.packet_queue.append(packet)
+
+    @property
+    def queue_length(self) -> int:
+        """Packets waiting or partially injected (the warm-up signal)."""
+        return len(self.packet_queue) + (1 if self._pending else 0)
+
+    def inject(self, cycle: int) -> None:
+        """Try to push one flit into the router's local input this cycle."""
+        if not self._pending and self.packet_queue:
+            self._start_next_packet()
+        if not self._pending:
+            return
+        vc = self._inject_vc
+        if self.config.buffer_sharing == "pool":
+            outstanding = self.config.buffers_per_vc - self._credits[vc]
+            if outstanding >= 1 and self._shared_credits <= 0:
+                return
+            if outstanding >= 1:
+                self._shared_credits -= 1
+        elif self._credits[vc] <= 0:
+            return
+        flit = self._pending.popleft()
+        self._credits[vc] -= 1
+        self.router.accept_flit(INJECT, vc, flit)
+        if not self._pending:
+            self._owned[vc] = False
+            self._inject_vc = -1
+
+    def _start_next_packet(self) -> None:
+        free = [vc for vc in range(self.config.num_vcs) if self._allocatable(vc)]
+        if not free:
+            return
+        vc = self.rng.choice(free)
+        packet = self.packet_queue.popleft()
+        self._pending.extend(packet_to_flits(packet))
+        self._inject_vc = vc
+        self._owned[vc] = True
+
+    def _allocatable(self, vc: int) -> bool:
+        if self._owned[vc]:
+            return False
+        if self.config.vc_reallocation == "when_empty":
+            return self._credits[vc] == self.config.buffers_per_vc
+        return True
+
+    def _credit_return(self, vc: int) -> None:
+        outstanding = self.config.buffers_per_vc - self._credits[vc]
+        self._credits[vc] += 1
+        if self.config.buffer_sharing == "pool" and outstanding >= 2:
+            self._shared_credits += 1

@@ -1,0 +1,122 @@
+"""The complete virtual-channel network: routers, links, NIs, and the cycle loop.
+
+Cycle phase order (identical reasoning for all network models):
+
+1. switch arbitration and traversal -- uses state as of the end of the
+   previous cycle, launches flits and credits onto links;
+2. link delivery -- flits/credits launched at least one cycle ago arrive;
+3. packet creation and NI injection;
+4. routing and VC allocation for newly exposed head flits.
+
+Because every inter-router link has delay >= 1, phases of different routers
+never interact within a cycle, so the network walks the routers once per
+phase without any event queue.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.vc.config import VCConfig
+from repro.baselines.vc.flits import VCFlit
+from repro.baselines.vc.interface import VCNodeInterface
+from repro.baselines.vc.router import VCRouter
+from repro.sim.link import Link
+from repro.sim.netbase import NetworkModel
+from repro.stats.collectors import OccupancyTracker
+from repro.topology.mesh import Mesh2D, opposite_port
+
+
+class VCNetwork(NetworkModel):
+    """An 8x8 (by default) mesh under virtual-channel flow control."""
+
+    def __init__(
+        self,
+        config: VCConfig,
+        mesh: Mesh2D | None = None,
+        packet_length: int = 5,
+        injection_rate: float = 0.1,
+        seed: int = 1,
+        traffic: str = "uniform",
+        injection_process: str = "periodic",
+        track_occupancy_node: int | None = None,
+    ) -> None:
+        mesh = mesh or Mesh2D(8, 8)
+        super().__init__(
+            mesh,
+            packet_length=packet_length,
+            injection_rate=injection_rate,
+            seed=seed,
+            traffic=traffic,
+            injection_process=injection_process,
+        )
+        self.config = config
+        self.routers = [
+            VCRouter(
+                node,
+                config,
+                self.routing,
+                self.rng.spawn(20_000 + node),
+                self._make_eject(node),
+            )
+            for node in mesh.nodes()
+        ]
+        self.interfaces = [
+            VCNodeInterface(self.routers[node], config, self.rng.spawn(30_000 + node))
+            for node in mesh.nodes()
+        ]
+        self._wire_links()
+        self.occupancy: OccupancyTracker | None = None
+        self._occupancy_node = track_occupancy_node
+        if track_occupancy_node is not None:
+            self.occupancy = OccupancyTracker(config.buffers_per_input)
+
+    @property
+    def flow_control_name(self) -> str:
+        return self.config.name
+
+    def _wire_links(self) -> None:
+        for node in self.mesh.nodes():
+            router = self.routers[node]
+            for port in self.mesh.mesh_ports(node):
+                neighbor = self.mesh.neighbor(node, port)
+                data = Link(self.config.data_link_delay)
+                credit = Link(self.config.credit_link_delay)
+                router.connect_output(port, data, credit)
+                self.routers[neighbor].connect_input(opposite_port(port), data, credit)
+
+    def _make_eject(self, node: int):
+        def eject(flit: VCFlit, cycle: int) -> None:
+            if flit.packet.destination != node:
+                raise RuntimeError(
+                    f"misdelivery: {flit!r} ejected at node {node}, "
+                    f"destination {flit.packet.destination}"
+                )
+            self._eject_flit(flit.packet, cycle)
+
+        return eject
+
+    def source_queue_length(self, node: int) -> int:
+        return self.interfaces[node].queue_length
+
+    def step(self, cycle: int) -> None:
+        routers = self.routers
+        for router in routers:
+            router.deliver_credits(cycle)
+            router.switch_traversal(cycle)
+        for router in routers:
+            router.deliver_flits(cycle)
+        for packet in self._create_packets(cycle):
+            self.interfaces[packet.source].enqueue(packet)
+        for interface in self.interfaces:
+            interface.inject(cycle)
+        for router in routers:
+            router.route_and_allocate(cycle)
+        if self.occupancy is not None:
+            self._sample_occupancy()
+
+    def _sample_occupancy(self) -> None:
+        """Track the west input of the chosen router, as in Section 4.2's
+        'specific buffer pool of a router in the middle of the mesh'."""
+        from repro.topology.mesh import WEST
+
+        router = self.routers[self._occupancy_node]
+        self.occupancy.record(min(router.buffered_flits(WEST), self.occupancy.pool_size))

@@ -1,0 +1,156 @@
+"""Flit types for flit-reservation flow control.
+
+A packet of L data flits is led through the network by ``ceil(L / d)``
+control flits (paper Figure 2): the *control head flit* carries the packet
+destination and the arrival time of the first data flit; each subsequent
+control flit carries the arrival times of up to ``d`` more data flits.  All
+control flits carry the virtual-channel identifier that ties a packet's
+control flits together; the VCID is per-hop state, assigned by control VC
+allocation exactly as in virtual-channel flow control.
+
+Data flits contain only payload.  The routers never examine them -- they are
+identified solely by arrival time.  The ``packet``/``index`` fields exist so
+the node interfaces can account deliveries and so tests can verify that the
+time-based schedule delivered the right payloads; a correctness test asserts
+the routers themselves never touch them.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.packet import Packet
+
+
+class DataFlit:
+    """An anonymous payload flit, identified in the network by arrival time."""
+
+    __slots__ = ("packet", "index", "injection_cycle")
+
+    def __init__(self, packet: Packet, index: int) -> None:
+        self.packet = packet
+        self.index = index
+        # Stamped by the source NI when the flit enters the injection channel;
+        # used for the per-flit network latency statistic of Section 4.4.
+        self.injection_cycle = -1
+
+    def __repr__(self) -> str:
+        return f"DataFlit(pkt={self.packet.packet_id}, #{self.index})"
+
+
+class ControlFlit:
+    """A reservation-making control flit.
+
+    ``arrival_times[i]`` is the (absolute) cycle at which led data flit ``i``
+    arrives at the *next* node the control flit visits; the output scheduler
+    of each router rewrites it with ``t_d + t_p`` as it makes reservations.
+    ``scheduled[i]`` tracks which led flits this router has already reserved,
+    so a control flit stalled mid-schedule (per-flit policy) does not reserve
+    twice.
+    """
+
+    __slots__ = (
+        "packet",
+        "is_head",
+        "is_last",
+        "data_flits",
+        "arrival_times",
+        "scheduled",
+        "vcid",
+        "forward_at",
+        "credited",
+    )
+
+    def __init__(
+        self,
+        packet: Packet,
+        is_head: bool,
+        is_last: bool,
+        data_flits: list[DataFlit],
+    ) -> None:
+        self.packet = packet
+        self.is_head = is_head
+        self.is_last = is_last
+        self.data_flits = data_flits
+        self.arrival_times = [-1] * len(data_flits)
+        self.scheduled = [False] * len(data_flits)
+        self.vcid = -1
+        # The control-link slot reserved for this flit's forwarding, fixed
+        # when its scheduling at the current hop commits (always at least one
+        # cycle after the commit -- the paper's 1-cycle routing and
+        # scheduling latency).  -1 while unscheduled or bound for ejection.
+        self.forward_at = -1
+        # Whether the flit occupies a credited control buffer at its current
+        # node.  A freshly created split flit sits in an uncredited staging
+        # slot (the original flit holds the credited buffer) until it is
+        # accepted at the next hop.
+        self.credited = True
+
+    @property
+    def destination(self) -> int:
+        return self.packet.destination
+
+    def reset_schedule_flags(self) -> None:
+        """Clear per-hop scheduling progress before the next router."""
+        for i in range(len(self.scheduled)):
+            self.scheduled[i] = False
+        self.forward_at = -1
+
+    def fully_scheduled(self) -> bool:
+        return all(self.scheduled)
+
+    def split_scheduled(self) -> "ControlFlit":
+        """Split off a control flit carrying the already-scheduled flits.
+
+        Used by the deadlock-avoidance extension for wide control flits
+        (d > 1): a control flit stalled mid-group may forward its scheduled
+        arrival times immediately -- so the data flits that already moved
+        ahead can be scheduled onward and release buffers -- while this
+        flit keeps the unscheduled remainder and retries.  The split takes
+        over head-ness (it travels first); ``is_last`` stays behind with
+        the remainder so control VC release still tracks the true tail.
+        """
+        done = [i for i, flag in enumerate(self.scheduled) if flag]
+        if not done or len(done) == len(self.data_flits):
+            raise ValueError("can only split a partially scheduled control flit")
+        split = ControlFlit(
+            self.packet,
+            is_head=self.is_head,
+            is_last=False,
+            data_flits=[self.data_flits[i] for i in done],
+        )
+        split.arrival_times = [self.arrival_times[i] for i in done]
+        split.scheduled = [True] * len(done)
+        keep = [i for i, flag in enumerate(self.scheduled) if not flag]
+        self.data_flits = [self.data_flits[i] for i in keep]
+        self.arrival_times = [self.arrival_times[i] for i in keep]
+        self.scheduled = [False] * len(keep)
+        self.is_head = False
+        return split
+
+    def __repr__(self) -> str:
+        role = "head" if self.is_head else "body"
+        if self.is_last:
+            role += "+last"
+        return (
+            f"ControlFlit(pkt={self.packet.packet_id}, {role}, "
+            f"leads={len(self.data_flits)}, t_a={self.arrival_times})"
+        )
+
+
+def packet_to_control_flits(
+    packet: Packet, data_flits_per_control: int
+) -> tuple[list[ControlFlit], list[DataFlit]]:
+    """Expand a packet into its control flit sequence and data flits."""
+    data_flits = [DataFlit(packet, i) for i in range(packet.length)]
+    control_flits = []
+    d = data_flits_per_control
+    groups = [data_flits[i : i + d] for i in range(0, len(data_flits), d)]
+    for group_index, group in enumerate(groups):
+        control_flits.append(
+            ControlFlit(
+                packet,
+                is_head=group_index == 0,
+                is_last=group_index == len(groups) - 1,
+                data_flits=group,
+            )
+        )
+    return control_flits, data_flits

@@ -1,0 +1,185 @@
+"""The complete flit-reservation network.
+
+Cycle phase order:
+
+1. packet creation (sources fire; new packets enter the NI control queues);
+2. router control planes -- credit delivery, control flit arrival,
+   forwarding, and processing (reservations are made here);
+3. NI control planes -- injection scheduling and control flit injection
+   (after the routers, so an injected control flit is processed by the
+   router the *next* cycle: the 1-cycle on-node control hop);
+4. data departures -- every input reservation table drives its scheduled
+   buffer reads onto the output links (buffers free here);
+5. NI data injections and link data arrivals -- writes and bypasses.
+
+As in the VC model, every inter-router link has delay >= 1, so phases of
+different routers never interact within a cycle and no event queue is
+needed.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FRConfig
+from repro.core.flits import ControlFlit, DataFlit
+from repro.core.interface import FRNodeInterface
+from repro.core.router import FRRouter
+from repro.sim.link import Link
+from repro.sim.netbase import NetworkModel
+from repro.stats.collectors import ControlLeadTracker, LatencyStats, OccupancyTracker
+from repro.topology.mesh import Mesh2D, opposite_port
+
+
+class FRNetwork(NetworkModel):
+    """An 8x8 (by default) mesh under flit-reservation flow control."""
+
+    def __init__(
+        self,
+        config: FRConfig,
+        mesh: Mesh2D | None = None,
+        packet_length: int = 5,
+        injection_rate: float = 0.1,
+        seed: int = 1,
+        traffic: str = "uniform",
+        injection_process: str = "periodic",
+        track_occupancy_node: int | None = None,
+        track_control_lead: bool = False,
+    ) -> None:
+        mesh = mesh or Mesh2D(8, 8)
+        super().__init__(
+            mesh,
+            packet_length=packet_length,
+            injection_rate=injection_rate,
+            seed=seed,
+            traffic=traffic,
+            injection_process=injection_process,
+        )
+        self.config = config
+        self.routers = [
+            FRRouter(
+                node,
+                config,
+                self.routing,
+                self.rng.spawn(20_000 + node),
+                self._make_data_eject(node),
+                self._on_control_consumed,
+            )
+            for node in mesh.nodes()
+        ]
+        self.interfaces = [
+            FRNodeInterface(self.routers[node], config, self.rng.spawn(30_000 + node))
+            for node in mesh.nodes()
+        ]
+        self._wire_links()
+        # Per-data-flit network latency (injection to ejection), the quantity
+        # behind the paper's "base data latency of 6 cycles" observation.
+        self.data_flit_latency = LatencyStats()
+        self.occupancy: OccupancyTracker | None = None
+        self._occupancy_node = track_occupancy_node
+        if track_occupancy_node is not None:
+            self.occupancy = OccupancyTracker(config.data_buffers_per_input)
+        self.control_lead: ControlLeadTracker | None = None
+        if track_control_lead:
+            self.control_lead = ControlLeadTracker()
+            for router in self.routers:
+                router.on_control_arrival = self._on_control_arrival
+                router.on_data_arrival = self._on_data_arrival
+
+    @property
+    def flow_control_name(self) -> str:
+        return self.config.name
+
+    def _wire_links(self) -> None:
+        cfg = self.config
+        adv_credit_width = cfg.control_flits_per_cycle * cfg.data_flits_per_control
+        ctrl_credit_width = cfg.control_vcs + cfg.control_flits_per_cycle
+        for node in self.mesh.nodes():
+            router = self.routers[node]
+            for port in self.mesh.mesh_ports(node):
+                neighbor = self.mesh.neighbor(node, port)
+                data = Link(cfg.data_link_delay)
+                ctrl = Link(cfg.control_link_delay, width=cfg.control_flits_per_cycle)
+                adv_credit = Link(cfg.credit_link_delay, width=adv_credit_width)
+                ctrl_credit = Link(cfg.credit_link_delay, width=ctrl_credit_width)
+                router.connect_output(port, data, ctrl, adv_credit, ctrl_credit)
+                self.routers[neighbor].connect_input(
+                    opposite_port(port), data, ctrl, adv_credit, ctrl_credit
+                )
+
+    # -- delivery hooks -------------------------------------------------------------
+
+    def _make_data_eject(self, node: int):
+        def eject(flit: DataFlit, cycle: int) -> None:
+            if flit.packet.destination != node:
+                raise RuntimeError(
+                    f"misdelivery: {flit!r} ejected at node {node}, "
+                    f"destination {flit.packet.destination}"
+                )
+            if flit.injection_cycle >= 0 and flit.packet.measured:
+                self.data_flit_latency.record(cycle - flit.injection_cycle)
+            self._eject_flit(flit.packet, cycle)
+
+        return eject
+
+    def _on_control_consumed(self, flit: ControlFlit, cycle: int) -> None:
+        # Reassembly scheduling is complete for this control flit; nothing
+        # further to model (reassembly buffers are infinite).
+        pass
+
+    def _on_control_arrival(self, flit: ControlFlit, node: int, cycle: int) -> None:
+        if flit.is_head and cycle >= 0 and flit.packet.destination == node:
+            self.control_lead.record_control_arrival(flit.packet.packet_id, cycle)
+
+    def _on_data_arrival(self, flit: DataFlit, node: int, cycle: int) -> None:
+        if flit.packet.destination == node:
+            self.control_lead.record_first_data_arrival(flit.packet.packet_id, cycle)
+
+    # -- structure queries ----------------------------------------------------------
+
+    def source_queue_length(self, node: int) -> int:
+        return self.interfaces[node].queue_length
+
+    # -- the cycle ----------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        for packet in self._create_packets(cycle):
+            self.interfaces[packet.source].enqueue(packet)
+        for router in self.routers:
+            router.control_phase(cycle)
+        for interface in self.interfaces:
+            interface.control_phase(cycle)
+        for router in self.routers:
+            router.data_departures(cycle)
+        for interface in self.interfaces:
+            interface.data_phase(cycle)
+        for router in self.routers:
+            router.data_arrivals(cycle)
+        if self.occupancy is not None:
+            self._sample_occupancy()
+
+    def _sample_occupancy(self) -> None:
+        from repro.topology.mesh import WEST
+
+        router = self.routers[self._occupancy_node]
+        self.occupancy.record(router.buffered_flits(WEST))
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def bypass_fraction(self) -> float:
+        """Fraction of data flit movements that used the bypass path."""
+        bypassed = 0
+        buffered = 0
+        for router in self.routers:
+            for scheduler in router.input_sched:
+                bypassed += scheduler.flits_bypassed
+                buffered += scheduler.flits_buffered
+        total = bypassed + buffered
+        return bypassed / total if total else 0.0
+
+    def buffer_transfer_count(self) -> int:
+        """Transfers the allocate-at-reservation policy would have required."""
+        total = 0
+        for router in self.routers:
+            for scheduler in router.input_sched:
+                if scheduler.bookkeeper is not None:
+                    total += scheduler.bookkeeper.transfers
+        return total

@@ -1,0 +1,234 @@
+"""The output reservation table (paper Figure 4a/4b).
+
+One table per output channel.  For every cycle within the scheduling horizon
+it records whether the channel is reserved ("busy") and how many buffers are
+free in the *downstream* input buffer pool at that cycle.  Reserving a
+departure at ``t_d`` marks the channel busy during ``t_d`` and decrements the
+downstream free-buffer count from the flit's arrival ``t_d + t_p`` through
+the horizon; the downstream input scheduler's advance credit later restores
+the count from the flit's own departure time onward, so the net accounting
+charges a buffer for exactly its true occupancy interval -- the zero
+turnaround that gives flit-reservation flow control its throughput edge.
+
+The table is circular over ``horizon`` slots with *lazy* sliding: slots are
+re-initialised only when the table is touched, so idle routers cost nothing.
+A slot that expires is reborn ``horizon`` cycles later carrying the previous
+end slot's free count (the steady-state value), exactly like the carry-over
+of the paper's hardware table.  Two boundary cases are deliberately
+conservative, never optimistic (a conservative count can only delay a
+reservation; an optimistic one would overbook a downstream buffer):
+
+* a decrement whose start lies beyond the window decrements the end slot,
+  from which it propagates into newly exposed slots;
+* a credit whose start lies beyond the window is parked in ``_pending_credits``
+  and applied exactly when its cycle enters the window, and is ignored by
+  availability checks until then.
+"""
+
+from __future__ import annotations
+
+
+class ReservationError(Exception):
+    """Raised on misuse of the reservation table (a router bug, not traffic)."""
+
+
+class OutputReservationTable:
+    """Channel busy bits and downstream free-buffer counts over a horizon."""
+
+    def __init__(
+        self,
+        horizon: int,
+        downstream_buffers: int,
+        propagation_delay: int,
+        infinite_buffers: bool = False,
+    ) -> None:
+        if horizon < 2:
+            raise ValueError(f"scheduling horizon must be >= 2 cycles, got {horizon}")
+        if downstream_buffers < 1 and not infinite_buffers:
+            raise ValueError("downstream pool must have at least 1 buffer")
+        self.horizon = horizon
+        self.downstream_buffers = downstream_buffers
+        self.propagation_delay = propagation_delay
+        self.infinite_buffers = infinite_buffers
+        self._busy = bytearray(horizon)
+        self._free = [downstream_buffers] * horizon
+        self._window_start = 0  # absolute cycle of the earliest valid slot
+        self._pending_credits: dict[int, int] = {}
+        # Diagnostics.
+        self.reservations_made = 0
+        self.credits_applied = 0
+
+    # -- window management ----------------------------------------------------
+
+    @property
+    def window_end(self) -> int:
+        """Absolute cycle of the last valid slot (inclusive)."""
+        return self._window_start + self.horizon - 1
+
+    def advance(self, now: int) -> None:
+        """Slide the window so it covers [now, now + horizon - 1]."""
+        if now <= self._window_start:
+            return
+        steps = now - self._window_start
+        if steps >= self.horizon:
+            # The whole window expired: every slot is reborn from steady state.
+            self._rebuild_window(now)
+            return
+        end_value = self._free[self.window_end % self.horizon]
+        for expired in range(self._window_start, now):
+            new_cycle = expired + self.horizon
+            end_value += self._pending_credits.pop(new_cycle, 0)
+            slot = expired % self.horizon
+            self._busy[slot] = 0
+            self._free[slot] = end_value
+        self._window_start = now
+
+    def _rebuild_window(self, now: int) -> None:
+        end_value = self._free[self.window_end % self.horizon]
+        # Credits that start before the new window apply to all of it.
+        matured = [cycle for cycle in self._pending_credits if cycle <= now]
+        for cycle in matured:
+            end_value += self._pending_credits.pop(cycle)
+        self._window_start = now
+        for slot in range(self.horizon):
+            self._busy[slot] = 0
+        running = end_value
+        for cycle in range(now, now + self.horizon):
+            running += self._pending_credits.pop(cycle, 0)
+            self._free[cycle % self.horizon] = running
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_busy(self, cycle: int) -> bool:
+        """Whether the channel is reserved during an in-window cycle."""
+        self._check_in_window(cycle)
+        return bool(self._busy[cycle % self.horizon])
+
+    def free_buffers_at(self, cycle: int) -> int:
+        """Downstream free-buffer count at an in-window cycle."""
+        self._check_in_window(cycle)
+        if self.infinite_buffers:
+            return 1 << 30
+        return self._free[cycle % self.horizon]
+
+    # -- the scheduling operation (paper Section 3) ----------------------------
+
+    def find_departure(self, now: int, earliest: int) -> int | None:
+        """Earliest reservable departure time ``t_d >= earliest``.
+
+        A slot qualifies when the channel is not busy at ``t_d`` and at least
+        one downstream buffer is free at every in-window cycle from the
+        flit's arrival ``t_d + t_p`` onward (the paper's hold-to-horizon
+        condition; the downstream node's own departure credit later trims
+        the hold to the true occupancy).  Returns None when no slot inside
+        the horizon qualifies -- the control flit must retry next cycle.
+        """
+        self.advance(now)
+        start = max(earliest, now + 1)
+        end = self.window_end
+        if start > end:
+            return None
+        if self.infinite_buffers:
+            for t in range(start, end + 1):
+                if not self._busy[t % self.horizon]:
+                    return t
+            return None
+        # Suffix minima of the free counts over [start + t_p, window_end];
+        # positions beyond the window use the end slot's value, which is the
+        # steady state every future slot inherits.
+        suffix_min = self._suffix_minima(start)
+        for t in range(start, end + 1):
+            if self._busy[t % self.horizon]:
+                continue
+            arrival = t + self.propagation_delay
+            minimum = suffix_min[arrival - start] if arrival <= end else suffix_min[-1]
+            if minimum >= 1:
+                return t
+        return None
+
+    def _suffix_minima(self, start: int) -> list[float]:
+        """suffix_min[i] = min free count over cycles [start + i, window_end],
+        with one trailing entry for "beyond the window" (the end value)."""
+        end = self.window_end
+        end_value = self._free[end % self.horizon]
+        minima = [0.0] * (end - start + 2)
+        minima[-1] = end_value
+        running = end_value
+        for t in range(end, start - 1, -1):
+            value = self._free[t % self.horizon]
+            if value < running:
+                running = value
+            minima[t - start] = running
+        return minima
+
+    def reserve(self, now: int, departure: int) -> None:
+        """Commit a reservation: mark busy and charge the downstream buffer."""
+        self.advance(now)
+        self._check_in_window(departure)
+        slot = departure % self.horizon
+        if self._busy[slot]:
+            raise ReservationError(
+                f"double booking: channel already reserved at cycle {departure}"
+            )
+        self._busy[slot] = 1
+        self.reservations_made += 1
+        if self.infinite_buffers:
+            return
+        arrival = departure + self.propagation_delay
+        start = min(arrival, self.window_end)  # beyond-window: charge the end slot
+        for t in range(start, self.window_end + 1):
+            self._free[t % self.horizon] -= 1
+            if self._free[t % self.horizon] < 0:
+                raise ReservationError(
+                    f"free-buffer count went negative at cycle {t}: "
+                    "availability check violated"
+                )
+
+    def release(self, departure: int) -> None:
+        """Undo a reservation made this cycle (all-or-nothing rollback)."""
+        self._check_in_window(departure)
+        slot = departure % self.horizon
+        if not self._busy[slot]:
+            raise ReservationError(f"cannot release unreserved cycle {departure}")
+        self._busy[slot] = 0
+        self.reservations_made -= 1
+        if self.infinite_buffers:
+            return
+        arrival = departure + self.propagation_delay
+        start = min(arrival, self.window_end)
+        for t in range(start, self.window_end + 1):
+            self._free[t % self.horizon] += 1
+
+    def apply_credit(self, now: int, from_cycle: int) -> None:
+        """Advance credit: the downstream buffer frees from ``from_cycle`` on.
+
+        Sent by the downstream input scheduler the moment it learns the
+        flit's departure time -- typically well before the flit even arrives,
+        which is what lets flit-reservation flow control recycle buffers with
+        zero turnaround.
+        """
+        self.advance(now)
+        if self.infinite_buffers:
+            return
+        self.credits_applied += 1
+        start = max(from_cycle, self._window_start)
+        if start > self.window_end:
+            self._pending_credits[start] = self._pending_credits.get(start, 0) + 1
+            return
+        self._apply_credit_within(start, 1)
+
+    def _apply_credit_within(self, start: int, amount: int) -> None:
+        for t in range(start, self.window_end + 1):
+            self._free[t % self.horizon] += amount
+            if self._free[t % self.horizon] > self.downstream_buffers:
+                raise ReservationError(
+                    f"free-buffer count exceeded pool size at cycle {t}: "
+                    "credit protocol violated"
+                )
+
+    def _check_in_window(self, cycle: int) -> None:
+        if not self._window_start <= cycle <= self.window_end:
+            raise ReservationError(
+                f"cycle {cycle} outside reservation window "
+                f"[{self._window_start}, {self.window_end}]"
+            )

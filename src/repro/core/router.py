@@ -1,0 +1,514 @@
+"""The flit-reservation router (paper Figure 3).
+
+The router has two halves:
+
+* **Control plane** -- control flits arrive into per-input control virtual
+  channels (the control network itself runs ordinary credit-based VC flow
+  control).  Each cycle, up to ``control_flits_per_cycle`` control flits per
+  input are *processed*: routed (heads compute the output port and store it
+  in a table indexed by VCID; bodies look it up), then their data flits are
+  scheduled on the selected output's reservation table.  Reservation
+  feedback goes to the input scheduler of the port where each data flit will
+  arrive, and an advance credit (the departure time) goes to the upstream
+  node.  A fully scheduled control flit is forwarded to the next node on the
+  following cycle -- the paper's 1-cycle routing-and-scheduling latency --
+  subject to control VC allocation, control buffer credits, and the 2-flit
+  control link width.  At the destination it is consumed after scheduling
+  the ejection of its data flits into the reassembly buffers.
+
+* **Data plane** -- entirely decision-free.  Each cycle the input
+  reservation tables direct which buffers drive which outputs and where
+  arriving flits are written; a flit whose reserved departure equals its
+  arrival cycle bypasses the buffers straight to the output.  The contents
+  of data flits are never examined.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.config import FRConfig
+from repro.core.flits import ControlFlit, DataFlit
+from repro.core.input_schedule import InputScheduler
+from repro.core.reservation import OutputReservationTable
+from repro.sim.link import Link
+from repro.sim.rng import DeterministicRng
+from repro.topology.mesh import EJECT, INJECT
+from repro.topology.routing import DimensionOrderRouting
+
+NUM_PORTS = 5  # north, east, south, west, local
+
+
+class FRRouter:
+    """One mesh router under flit-reservation flow control."""
+
+    def __init__(
+        self,
+        node: int,
+        config: FRConfig,
+        routing: DimensionOrderRouting,
+        rng: DeterministicRng,
+        eject_data: Callable[[DataFlit, int], None],
+        consume_control: Callable[[ControlFlit, int], None],
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.routing = routing
+        self.rng = rng
+        self.eject_data = eject_data
+        self.consume_control = consume_control
+        v = config.control_vcs
+        # Control input side.
+        self.ctrl_queues: list[list[deque[ControlFlit]]] = [
+            [deque() for _ in range(v)] for _ in range(NUM_PORTS)
+        ]
+        # route_table[port][vc] = [out_port, out_vc, packet_id] for the
+        # packet currently traversing that control VC; out_vc is -1 until a
+        # downstream control VC is allocated at forward time.
+        self.route_table: list[list[Optional[list[int]]]] = [
+            [None] * v for _ in range(NUM_PORTS)
+        ]
+        # Control output side (upstream view of the downstream control input).
+        self.ctrl_credits = [[config.control_buffers_per_vc] * v for _ in range(NUM_PORTS)]
+        self.ctrl_vc_owned = [[False] * v for _ in range(NUM_PORTS)]
+        # Control-link slot bookings (cycle -> flits committed to forward
+        # then) and the last slot each control VC claimed, which keeps
+        # per-VC forwarding FIFO.
+        self._ctrl_link_slots: list[dict[int, int]] = [{} for _ in range(NUM_PORTS)]
+        self._last_ctrl_slot = [[-1] * v for _ in range(NUM_PORTS)]
+        # Data side.
+        track = config.buffer_allocation == "at_reservation"
+        self.input_sched = [
+            InputScheduler(config.data_buffers_per_input, track_transfers=track)
+            for _ in range(NUM_PORTS)
+        ]
+        self.out_tables: list[Optional[OutputReservationTable]] = [None] * NUM_PORTS
+        self.out_tables[EJECT] = OutputReservationTable(
+            config.scheduling_horizon,
+            downstream_buffers=1,
+            propagation_delay=0,
+            infinite_buffers=True,
+        )
+        # Links, wired by the network.
+        self.ctrl_out_links: list[Optional[Link]] = [None] * NUM_PORTS
+        self.ctrl_in_links: list[Optional[Link]] = [None] * NUM_PORTS
+        self.ctrl_credit_out: list[Optional[Link]] = [None] * NUM_PORTS
+        self.ctrl_credit_in: list[Optional[Link]] = [None] * NUM_PORTS
+        self.data_out_links: list[Optional[Link]] = [None] * NUM_PORTS
+        self.data_in_links: list[Optional[Link]] = [None] * NUM_PORTS
+        self.adv_credit_out: list[Optional[Link]] = [None] * NUM_PORTS
+        self.adv_credit_in: list[Optional[Link]] = [None] * NUM_PORTS
+        self.connected_outputs: list[int] = []
+        # NI callbacks (on-node wiring, no link delay), set by the network.
+        self.ni_advance_credit: Optional[Callable[[int, int], None]] = None
+        self.ni_control_credit: Optional[Callable[[int], None]] = None
+        # Observability hook: called for every data flit arrival (stats only;
+        # routing never looks at flit contents).
+        self.on_data_arrival: Optional[Callable[[DataFlit, int, int], None]] = None
+        self.on_control_arrival: Optional[Callable[[ControlFlit, int, int], None]] = None
+        # Diagnostics.
+        self.schedule_stalls = 0
+        self.forward_stalls = 0
+        self.splits_performed = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def connect_output(
+        self,
+        port: int,
+        data_link: Link,
+        ctrl_link: Link,
+        adv_credit_link: Link,
+        ctrl_credit_link: Link,
+    ) -> None:
+        """Attach output-side links and build the output reservation table."""
+        self.data_out_links[port] = data_link
+        self.ctrl_out_links[port] = ctrl_link
+        self.adv_credit_in[port] = adv_credit_link
+        self.ctrl_credit_in[port] = ctrl_credit_link
+        self.out_tables[port] = OutputReservationTable(
+            self.config.scheduling_horizon,
+            downstream_buffers=self.config.data_buffers_per_input,
+            propagation_delay=self.config.data_link_delay,
+        )
+        self.connected_outputs.append(port)
+
+    def connect_input(
+        self,
+        port: int,
+        data_link: Link,
+        ctrl_link: Link,
+        adv_credit_link: Link,
+        ctrl_credit_link: Link,
+    ) -> None:
+        """Attach input-side links (the reverse-direction credits go out)."""
+        self.data_in_links[port] = data_link
+        self.ctrl_in_links[port] = ctrl_link
+        self.adv_credit_out[port] = adv_credit_link
+        self.ctrl_credit_out[port] = ctrl_credit_link
+
+    # -- control plane ----------------------------------------------------------
+
+    def control_phase(self, now: int) -> None:
+        """One cycle of the control plane: credits, arrivals, forward, process."""
+        for port in self.connected_outputs:
+            for vc in self.ctrl_credit_in[port].receive(now):
+                self.ctrl_credits[port][vc] += 1
+            table = self.out_tables[port]
+            for from_cycle in self.adv_credit_in[port].receive(now):
+                table.apply_credit(now, from_cycle)
+        for port in range(4):
+            link = self.ctrl_in_links[port]
+            if link is None:
+                continue
+            for vc, flit in link.receive(now):
+                self.accept_control_flit(port, vc, flit, now)
+        for port in range(NUM_PORTS):
+            self._serve_control_input(port, now)
+
+    def accept_control_flit(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
+        """Insert an arriving control flit into its control VC queue."""
+        queue = self.ctrl_queues[port][vc]
+        # Uncredited split flits in staging slots do not count against the
+        # credited buffer capacity.
+        credited_occupancy = sum(1 for queued in queue if queued.credited)
+        if credited_occupancy >= self.config.control_buffers_per_vc:
+            raise RuntimeError(
+                f"control buffer overflow at node {self.node} port {port} vc {vc}: "
+                "control credit protocol violated"
+            )
+        flit.credited = True
+        queue.append(flit)
+        if self.on_control_arrival is not None:
+            self.on_control_arrival(flit, self.node, now)
+
+    def _serve_control_input(self, port: int, now: int) -> None:
+        vcs = [vc for vc in range(self.config.control_vcs) if self.ctrl_queues[port][vc]]
+        if not vcs:
+            return
+        if len(vcs) > 1:
+            vcs = self.rng.shuffled(vcs)
+        # Forward pass: queue-front flits whose reserved link slot has come
+        # move on, freeing their control buffers.
+        for vc in vcs:
+            self._drain_front(port, vc, now)
+        # Processing pass: route + schedule up to control_flits_per_cycle
+        # flits.  Two rules keep the control/data dependency graph acyclic
+        # (the cross-dependency hazard the paper's Section 5 points out):
+        #
+        # 1. Scheduling proceeds *past* a front flit that is merely waiting
+        #    for its forward slot -- only forwarding is FIFO.  Otherwise a
+        #    waiting control flit would trap the unscheduled data flits of
+        #    the flits queued behind it in this node's buffer pool.
+        # 2. A control flit commits its reservations only when its onward
+        #    journey is secured: downstream control VC, control buffer
+        #    credit, and a reserved slot on the control output link are all
+        #    claimed in the same step (see _process_flit).  A committed
+        #    control flit therefore can never stall behind its own data
+        #    flits, so every dependency points forward along XY routes and
+        #    terminates at an ejection port.
+        budget = self.config.control_flits_per_cycle
+        for vc in vcs:
+            if budget <= 0:
+                break
+            budget = self._schedule_queue(port, vc, now, budget)
+
+    def _drain_front(self, port: int, vc: int, now: int) -> None:
+        """Forward or consume the queue-front flit if its schedule is done."""
+        queue = self.ctrl_queues[port][vc]
+        while queue:
+            flit = queue[0]
+            if not flit.fully_scheduled():
+                return
+            out_port = self.route_table[port][vc][0]
+            if out_port == EJECT:
+                self._consume(port, vc, flit, now)
+                continue  # consumption frees the front; try the next flit
+            if now >= flit.forward_at:
+                self._forward_front(port, vc, flit, now)
+            return  # at most one link forward per VC per cycle
+
+    def _schedule_queue(self, port: int, vc: int, now: int, budget: int) -> int:
+        """Schedule flits in queue order until the budget or a blocker."""
+        queue = self.ctrl_queues[port][vc]
+        index = 0
+        while index < len(queue):
+            if budget <= 0:
+                return 0
+            flit = queue[index]
+            if flit.fully_scheduled():
+                index += 1
+                continue
+            entry = self.route_table[port][vc]
+            if flit.is_head and entry is not None and entry[2] != flit.packet.packet_id:
+                # The previous packet still owns this control VC's routing
+                # entry; the new packet waits for it to finish forwarding.
+                return budget
+            budget -= 1
+            outcome = self._process_flit(port, vc, flit, now)
+            if outcome == "done":
+                if self.route_table[port][vc][0] == EJECT and index == 0:
+                    self._consume(port, vc, flit, now)
+                    continue  # the queue shrank; re-examine the new front
+                index += 1
+            elif outcome == "split":
+                # A split control flit was inserted before the residual; the
+                # residual is still unscheduled and blocks FIFO forwarding,
+                # so nothing behind it may reserve a link slot this cycle.
+                return budget
+            else:
+                return budget  # later flits share the blocked output
+        return budget
+
+    def _process_flit(self, port: int, vc: int, flit: ControlFlit, now: int) -> str:
+        """Route, secure forward resources, schedule, and commit -- atomically.
+
+        Returns "done" when the flit is fully scheduled (with its forward
+        slot reserved), "split" when a partially scheduled wide control flit
+        forwarded its progress as a split flit (see below), and "stall" when
+        nothing was committed and the flit retries next cycle.
+
+        Deadlock-avoidance extension for wide control flits (d > 1, per-flit
+        policy): the paper lets each successfully scheduled data flit move on
+        immediately, but a control flit stalled mid-group would then sit
+        behind its own advanced data flits -- they fill the next node's pool
+        and can only be scheduled onward by this very control flit, a
+        self-cycle the paper's Section 5 leaves open.  Here a stalled
+        mid-group flit *splits*: a control flit carrying the scheduled
+        arrival times forwards at once (control flits carry "up to N" data
+        flits, so a partially filled one is protocol-legal) while the
+        residual keeps retrying.  With d=1, the paper's configuration, the
+        split path never triggers.
+        """
+        entry = self.route_table[port][vc]
+        if entry is None:
+            if not flit.is_head:
+                raise RuntimeError(
+                    f"control body flit {flit!r} with no routing-table entry at "
+                    f"node {self.node}: VCID discipline violated"
+                )
+            out_port = self.routing.output_port(self.node, flit.destination)
+            entry = [out_port, -1, flit.packet.packet_id]
+            self.route_table[port][vc] = entry
+        out_port = entry[0]
+        if out_port == EJECT:
+            if not self._schedule_data_flits(port, flit, out_port, now):
+                self.schedule_stalls += 1
+                return "stall"
+            return "done"
+        # Secure the onward journey before committing any reservation.
+        out_vc = entry[1]
+        if out_vc == -1:
+            candidates = [
+                v
+                for v in range(self.config.control_vcs)
+                if not self.ctrl_vc_owned[out_port][v]
+                and self.ctrl_credits[out_port][v] > 0
+            ]
+            if not candidates:
+                self.forward_stalls += 1
+                return "stall"
+            out_vc = candidates[0] if len(candidates) == 1 else self.rng.choice(candidates)
+        elif self.ctrl_credits[out_port][out_vc] <= 0:
+            self.forward_stalls += 1
+            return "stall"
+        if not self._schedule_data_flits(port, flit, out_port, now):
+            self.schedule_stalls += 1
+            if self.config.scheduling_policy == "per_flit" and any(flit.scheduled):
+                return self._split_and_forward(port, vc, flit, entry, out_vc, now)
+            return "stall"
+        # Commit the forward resources claimed above.
+        if entry[1] == -1:
+            entry[1] = out_vc
+            self.ctrl_vc_owned[out_port][out_vc] = True
+        self.ctrl_credits[out_port][out_vc] -= 1
+        flit.forward_at = self._reserve_link_slot(port, vc, out_port, now)
+        return "done"
+
+    def _split_and_forward(
+        self,
+        port: int,
+        vc: int,
+        flit: ControlFlit,
+        entry: list[int],
+        out_vc: int,
+        now: int,
+    ) -> str:
+        """Forward a stalled wide control flit's progress as a split flit."""
+        out_port = entry[0]
+        split = flit.split_scheduled()
+        if entry[1] == -1:
+            entry[1] = out_vc
+            self.ctrl_vc_owned[out_port][out_vc] = True
+        self.ctrl_credits[out_port][out_vc] -= 1
+        split.forward_at = self._reserve_link_slot(port, vc, out_port, now)
+        split.credited = False  # staging slot; the residual holds the credit
+        queue = self.ctrl_queues[port][vc]
+        queue.insert(queue.index(flit), split)
+        self.splits_performed += 1
+        return "split"
+
+    def _schedule_data_flits(
+        self, port: int, flit: ControlFlit, out_port: int, now: int
+    ) -> bool:
+        if self.config.scheduling_policy == "per_flit":
+            return self._schedule_per_flit(port, flit, out_port, now)
+        return self._schedule_all_or_nothing(port, flit, out_port, now)
+
+    def _reserve_link_slot(self, port: int, vc: int, out_port: int, now: int) -> int:
+        """Claim the earliest control-link slot this flit may forward in.
+
+        Slots are strictly increasing per control VC so forwarding stays
+        FIFO and every reserved slot is honoured exactly.
+        """
+        slots = self._ctrl_link_slots[out_port]
+        width = self.ctrl_out_links[out_port].width
+        cycle = max(now + 1, self._last_ctrl_slot[port][vc] + 1)
+        while slots.get(cycle, 0) >= width:
+            cycle += 1
+        slots[cycle] = slots.get(cycle, 0) + 1
+        self._last_ctrl_slot[port][vc] = cycle
+        return cycle
+
+    def _schedule_per_flit(
+        self, port: int, flit: ControlFlit, out_port: int, now: int
+    ) -> bool:
+        table = self.out_tables[out_port]
+        for i in range(len(flit.data_flits)):
+            if flit.scheduled[i]:
+                continue
+            arrival = flit.arrival_times[i]
+            departure = self._find_departure(port, table, now, max(arrival, now + 1))
+            if departure is None:
+                return False
+            table.reserve(now, departure)
+            self._commit_reservation(port, flit, i, departure, out_port, now)
+        return True
+
+    def _find_departure(self, port: int, table, now: int, earliest: int):
+        """Earliest departure satisfying the output table *and* this
+        input's buffer read ports (paper footnote 7: one "Buffer Out" row
+        unless the input buffer is multi-ported)."""
+        scheduler = self.input_sched[port]
+        limit = self.config.input_read_ports
+        while True:
+            departure = table.find_departure(now, earliest)
+            if departure is None or scheduler.departures_at(departure) < limit:
+                return departure
+            earliest = departure + 1
+
+    def _schedule_all_or_nothing(
+        self, port: int, flit: ControlFlit, out_port: int, now: int
+    ) -> bool:
+        table = self.out_tables[out_port]
+        tentative: list[tuple[int, int]] = []
+        for i in range(len(flit.data_flits)):
+            arrival = flit.arrival_times[i]
+            departure = self._find_departure(port, table, now, max(arrival, now + 1))
+            if departure is None:
+                for _, earlier in tentative:
+                    table.release(earlier)
+                return False
+            table.reserve(now, departure)
+            tentative.append((i, departure))
+        for i, departure in tentative:
+            self._commit_reservation(port, flit, i, departure, out_port, now)
+        return True
+
+    def _commit_reservation(
+        self, port: int, flit: ControlFlit, i: int, departure: int, out_port: int, now: int
+    ) -> None:
+        arrival = flit.arrival_times[i]
+        self.input_sched[port].on_reservation(now, arrival, departure, out_port)
+        # The buffer frees at the departure; plesiochronous links hold it a
+        # margin longer in case the transmit clock slips (Section 5).
+        credit_from = departure + self.config.plesiochronous_margin
+        if port == INJECT:
+            self.ni_advance_credit(now, credit_from)
+        else:
+            self.adv_credit_out[port].send(credit_from, now)
+        flit.scheduled[i] = True
+        if out_port == EJECT:
+            flit.arrival_times[i] = departure
+        else:
+            flit.arrival_times[i] = departure + self.config.data_link_delay
+
+    def _forward_front(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
+        """Send the committed front flit at its reserved link slot."""
+        entry = self.route_table[port][vc]
+        out_port, out_vc = entry[0], entry[1]
+        if now != flit.forward_at:
+            raise RuntimeError(
+                f"control flit {flit!r} forwarding at cycle {now} but its "
+                f"reserved link slot was {flit.forward_at}: FIFO slot "
+                "discipline violated"
+            )
+        self.ctrl_queues[port][vc].popleft()
+        flit.vcid = out_vc
+        flit.reset_schedule_flags()
+        self.ctrl_out_links[out_port].send((out_vc, flit), now)
+        slots = self._ctrl_link_slots[out_port]
+        slots[now] -= 1
+        if not slots[now]:
+            del slots[now]
+        if flit.is_last:
+            self.ctrl_vc_owned[out_port][out_vc] = False
+            self.route_table[port][vc] = None
+        if flit.credited:
+            self._return_control_credit(port, vc, now)
+
+    def _consume(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
+        """Deliver a control flit to the local reassembly machinery."""
+        self.ctrl_queues[port][vc].popleft()
+        if flit.is_last:
+            self.route_table[port][vc] = None
+        if flit.credited:
+            self._return_control_credit(port, vc, now)
+        self.consume_control(flit, now)
+
+    def _return_control_credit(self, port: int, vc: int, now: int) -> None:
+        if port == INJECT:
+            self.ni_control_credit(vc)
+        else:
+            self.ctrl_credit_out[port].send(vc, now)
+
+    # -- data plane ---------------------------------------------------------------
+
+    def data_departures(self, now: int) -> None:
+        """Drive scheduled buffer reads onto output links (or eject)."""
+        for port in range(NUM_PORTS):
+            for flit, out_port in self.input_sched[port].take_departures(now):
+                self._send_data(flit, out_port, now)
+
+    def data_arrivals(self, now: int) -> None:
+        """Write arriving flits to their allocated buffers or bypass them."""
+        for port in range(4):
+            link = self.data_in_links[port]
+            if link is None:
+                continue
+            for flit in link.receive(now):
+                self._accept_data(port, flit, now)
+
+    def inject_data(self, flit: DataFlit, now: int) -> None:
+        """The NI delivers a data flit to the local input at its reserved cycle."""
+        self._accept_data(INJECT, flit, now)
+
+    def _accept_data(self, port: int, flit: DataFlit, now: int) -> None:
+        if self.on_data_arrival is not None:
+            self.on_data_arrival(flit, self.node, now)
+        bypass_port = self.input_sched[port].on_arrival(now, flit)
+        if bypass_port is not None:
+            self._send_data(flit, bypass_port, now)
+
+    def _send_data(self, flit: DataFlit, out_port: int, now: int) -> None:
+        if out_port == EJECT:
+            self.eject_data(flit, now)
+        else:
+            self.data_out_links[out_port].send(flit, now)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def buffered_flits(self, port: int) -> int:
+        """Occupied data buffers at one input (Section 4.2 occupancy study)."""
+        return self.input_sched[port].occupancy

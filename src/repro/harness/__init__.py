@@ -1,0 +1,28 @@
+"""Experiment harness: everything needed to regenerate the paper's evaluation.
+
+* :mod:`~repro.harness.experiment` -- run one configuration at one load and
+  measure latency/throughput with warm-up, sampling, and drain;
+* :mod:`~repro.harness.sweep` -- latency-vs-offered-load curves;
+* :mod:`~repro.harness.saturation` -- saturation throughput measurement;
+* :mod:`~repro.harness.presets` -- measurement fidelity presets (quick /
+  standard / paper);
+* :mod:`~repro.harness.tables` and :mod:`~repro.harness.figures` -- one
+  function per table and figure of the paper;
+* :mod:`~repro.harness.runner` -- the ``frfc`` command-line front end.
+"""
+
+from repro.harness.experiment import ExperimentResult, build_network, run_experiment
+from repro.harness.presets import MeasurementPreset, PRESETS
+from repro.harness.saturation import find_saturation
+from repro.harness.sweep import LoadSweepResult, run_load_sweep
+
+__all__ = [
+    "ExperimentResult",
+    "LoadSweepResult",
+    "MeasurementPreset",
+    "PRESETS",
+    "build_network",
+    "find_saturation",
+    "run_experiment",
+    "run_load_sweep",
+]

@@ -1,0 +1,84 @@
+"""Measurement fidelity presets.
+
+The paper warms up for at least 10,000 cycles (until queue lengths
+stabilise) and then samples 100,000 injected packets per data point.  A full
+point at that fidelity costs minutes of wall clock in pure Python, so the
+committed benchmarks run at reduced fidelity; the presets make the trade
+explicit and let any experiment be re-run at paper fidelity with one
+argument.  EXPERIMENTS.md records which preset produced each recorded
+number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeasurementPreset:
+    """How long to warm up, how much to sample, and when to give up.
+
+    ``sample_cycles`` bounds the window during which injected packets are
+    tagged for latency measurement; ``drain_cycles`` bounds how long we wait
+    for the tagged sample to drain after injection stops.  ``min_warmup``
+    and ``warmup_window`` parameterise the queue-stabilisation detector.
+    """
+
+    name: str
+    min_warmup: int
+    warmup_window: int
+    max_warmup: int
+    sample_cycles: int
+    drain_cycles: int
+    throughput_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.min_warmup < 2 * self.warmup_window:
+            raise ValueError("min_warmup must cover two warm-up windows")
+        if self.sample_cycles < 1 or self.throughput_cycles < 1:
+            raise ValueError("measurement windows must be positive")
+
+
+PRESETS = {
+    # For unit tests and smoke checks: seconds per point.
+    "quick": MeasurementPreset(
+        name="quick",
+        min_warmup=600,
+        warmup_window=200,
+        max_warmup=2_000,
+        sample_cycles=1_200,
+        drain_cycles=8_000,
+        throughput_cycles=1_500,
+    ),
+    # For the committed benchmark results: tens of seconds per point.
+    "standard": MeasurementPreset(
+        name="standard",
+        min_warmup=1_500,
+        warmup_window=500,
+        max_warmup=6_000,
+        sample_cycles=3_000,
+        drain_cycles=20_000,
+        throughput_cycles=3_500,
+    ),
+    # The paper's methodology: >=10k warm-up cycles, ~100k-packet sample.
+    "paper": MeasurementPreset(
+        name="paper",
+        min_warmup=10_000,
+        warmup_window=1_000,
+        max_warmup=40_000,
+        sample_cycles=65_000,  # ~100k packets at mid load on 64 nodes
+        drain_cycles=400_000,
+        throughput_cycles=30_000,
+    ),
+}
+
+
+def get_preset(preset: "str | MeasurementPreset") -> MeasurementPreset:
+    """Resolve a preset by name, passing instances through."""
+    if isinstance(preset, MeasurementPreset):
+        return preset
+    try:
+        return PRESETS[preset]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown preset {preset!r}; known presets: {known}")

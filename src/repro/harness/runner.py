@@ -1,0 +1,194 @@
+"""Command-line front end: ``frfc`` (flit-reservation flow control).
+
+Examples::
+
+    frfc table1                     # storage overhead (instant, analytical)
+    frfc table2                     # bandwidth overhead (instant)
+    frfc table3 --preset quick      # the experimental summary
+    frfc figure 5 --preset standard # latency-throughput curves
+    frfc point FR6 0.5              # one experiment point
+    frfc saturate VC8               # saturation throughput search
+    frfc occupancy                  # Section 4.2 study
+    frfc lead                       # Section 4.4 study
+    frfc sweep FR6 --loads 0.1,0.5  # latency-throughput curve
+    frfc trace FR6 --packet 3       # one packet's event timeline
+    frfc utilization FR6 0.6        # per-channel busy fractions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.vc.config import VC8, VC16, VC32
+from repro.baselines.wormhole.network import WormholeConfig
+from repro.core.config import FR6, FR13
+from repro.harness import figures as figures_module
+from repro.harness.experiment import run_experiment
+from repro.harness.saturation import find_saturation
+from repro.harness.tables import format_table1, format_table2, table1, table2, table3
+from repro.harness.sweep import run_load_sweep
+
+CONFIGS = {
+    "VC8": VC8,
+    "VC16": VC16,
+    "VC32": VC32,
+    "FR6": FR6,
+    "FR13": FR13,
+    "WH8": WormholeConfig(buffers_per_input=8),
+}
+
+FIGURES = {
+    "5": figures_module.figure5,
+    "6": figures_module.figure6,
+    "7": figures_module.figure7,
+    "8": figures_module.figure8,
+    "9": figures_module.figure9,
+}
+
+
+def _config(name: str):
+    try:
+        return CONFIGS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(CONFIGS))
+        raise SystemExit(f"unknown configuration {name!r}; known: {known}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="frfc",
+        description="Flit-reservation flow control (HPCA 2000) reproduction harness",
+    )
+    parser.add_argument("--preset", default="standard", help="quick|standard|paper")
+    parser.add_argument("--seed", type=int, default=1)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="storage overhead (analytical)")
+    sub.add_parser("table2", help="bandwidth overhead (analytical)")
+    t3 = sub.add_parser("table3", help="experimental summary")
+    t3.add_argument("--no-leading", action="store_true")
+    t3.add_argument("--packet-lengths", default="5,21")
+
+    fig = sub.add_parser("figure", help="regenerate one figure's curves")
+    fig.add_argument("number", choices=sorted(FIGURES))
+
+    point = sub.add_parser("point", help="run one (config, load) experiment")
+    point.add_argument("config")
+    point.add_argument("load", type=float)
+    point.add_argument("--packet-length", type=int, default=5)
+
+    sat = sub.add_parser("saturate", help="find saturation throughput")
+    sat.add_argument("config")
+    sat.add_argument("--packet-length", type=int, default=5)
+    sat.add_argument("--low", type=float, default=0.30)
+
+    sub.add_parser("occupancy", help="Section 4.2 buffer-pool occupancy study")
+    sub.add_parser("lead", help="Section 4.4 control-lead study")
+
+    sweep = sub.add_parser("sweep", help="latency-throughput curve for one config")
+    sweep.add_argument("config")
+    sweep.add_argument("--loads", default="0.1,0.3,0.5,0.63,0.72,0.8")
+    sweep.add_argument("--packet-length", type=int, default=5)
+
+    trace = sub.add_parser("trace", help="print one packet's event timeline")
+    trace.add_argument("config")
+    trace.add_argument("--load", type=float, default=0.3)
+    trace.add_argument("--packet", type=int, default=1)
+    trace.add_argument("--cycles", type=int, default=400)
+
+    util = sub.add_parser("utilization", help="per-channel busy fractions")
+    util.add_argument("config")
+    util.add_argument("load", type=float)
+    util.add_argument("--cycles", type=int, default=2000)
+
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        print(format_table1(table1()))
+    elif args.command == "table2":
+        print(format_table2(table2()))
+    elif args.command == "table3":
+        lengths = tuple(int(x) for x in args.packet_lengths.split(","))
+        result = table3(
+            preset=args.preset,
+            seed=args.seed,
+            packet_lengths=lengths,
+            include_leading=not args.no_leading,
+        )
+        print(result.format())
+    elif args.command == "figure":
+        result = FIGURES[args.number](preset=args.preset, seed=args.seed)
+        print(result.format())
+    elif args.command == "point":
+        result = run_experiment(
+            _config(args.config),
+            args.load,
+            packet_length=args.packet_length,
+            seed=args.seed,
+            preset=args.preset,
+        )
+        print(result.summary())
+    elif args.command == "saturate":
+        result = find_saturation(
+            _config(args.config),
+            packet_length=args.packet_length,
+            seed=args.seed,
+            preset=args.preset,
+            low=args.low,
+        )
+        print(
+            f"{result.config_name}: saturation {result.saturation * 100:.0f}% of "
+            f"capacity (knee {result.knee:.2f}, plateau {result.plateau:.2f})"
+        )
+        for offered, accepted in result.probes:
+            print(f"  offered {offered:.3f} -> accepted {accepted:.3f}")
+    elif args.command == "occupancy":
+        print(figures_module.section42_occupancy(preset=args.preset, seed=args.seed).format())
+    elif args.command == "lead":
+        print(figures_module.section44_control_lead(preset=args.preset, seed=args.seed).format())
+    elif args.command == "sweep":
+        loads = [float(x) for x in args.loads.split(",")]
+        sweep_result = run_load_sweep(
+            _config(args.config),
+            loads,
+            packet_length=args.packet_length,
+            seed=args.seed,
+            preset=args.preset,
+        )
+        print(sweep_result.format_table())
+    elif args.command == "trace":
+        print(_trace(args))
+    elif args.command == "utilization":
+        print(_utilization(args))
+    return 0
+
+
+def _trace(args) -> str:
+    from repro.core.config import FRConfig
+    from repro.harness.experiment import build_network
+    from repro.sim.kernel import Simulator
+    from repro.sim.tracelog import TraceLog
+
+    config = _config(args.config)
+    if not isinstance(config, FRConfig):
+        raise SystemExit("tracing is available for flit-reservation configs only")
+    network = build_network(config, args.load, seed=args.seed)
+    log = TraceLog().attach(network)
+    Simulator(network).step(args.cycles)
+    return log.format_packet(args.packet)
+
+
+def _utilization(args) -> str:
+    from repro.harness.experiment import build_network
+    from repro.sim.kernel import Simulator
+    from repro.stats.utilization import measure_channel_utilization
+
+    network = build_network(_config(args.config), args.load, seed=args.seed)
+    simulator = Simulator(network)
+    simulator.step(max(500, args.cycles // 4))  # warm up
+    report = measure_channel_utilization(network, simulator, args.cycles)
+    return report.format(count=8)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Load sweeps: the latency-versus-offered-traffic curves of Figures 5-9."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.experiment import AnyConfig, ExperimentResult, run_experiment
+from repro.harness.presets import MeasurementPreset
+
+
+@dataclass
+class LoadSweepResult:
+    """One latency-throughput curve: a configuration swept over loads."""
+
+    config_name: str
+    packet_length: int
+    points: list[ExperimentResult] = field(default_factory=list)
+
+    def offered_loads(self) -> list[float]:
+        return [point.offered_load for point in self.points]
+
+    def latencies(self) -> list[float]:
+        return [point.mean_latency for point in self.points]
+
+    def accepted_loads(self) -> list[float]:
+        return [point.accepted_load for point in self.points]
+
+    def latency_at(self, load: float) -> float:
+        """Mean latency at the sweep point closest to ``load``."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        closest = min(self.points, key=lambda p: abs(p.offered_load - load))
+        return closest.mean_latency
+
+    def rows(self) -> list[tuple[float, float, float]]:
+        """(offered, accepted, latency) triples, ready for printing."""
+        return [
+            (p.offered_load, p.accepted_load, p.mean_latency) for p in self.points
+        ]
+
+    def format_table(self) -> str:
+        lines = [
+            f"{self.config_name} ({self.packet_length}-flit packets)",
+            f"{'offered':>8} {'accepted':>9} {'latency':>9}",
+        ]
+        for offered, accepted, latency in self.rows():
+            lines.append(f"{offered:>8.2f} {accepted:>9.3f} {latency:>9.1f}")
+        return "\n".join(lines)
+
+
+def run_load_sweep(
+    config: AnyConfig,
+    loads: list[float],
+    packet_length: int = 5,
+    seed: int = 1,
+    preset: str | MeasurementPreset = "standard",
+    stop_when_saturated: bool = True,
+    **kwargs,
+) -> LoadSweepResult:
+    """Measure one configuration across ascending offered loads.
+
+    When ``stop_when_saturated`` is set, the sweep records one point past
+    saturation (so the curve shows the blow-up) and stops, saving the cost
+    of deeply oversaturated runs that add nothing to the figure.
+    """
+    result = LoadSweepResult(config_name="", packet_length=packet_length)
+    for load in sorted(loads):
+        point = run_experiment(
+            config,
+            load,
+            packet_length=packet_length,
+            seed=seed,
+            preset=preset,
+            **kwargs,
+        )
+        result.config_name = point.config_name
+        result.points.append(point)
+        if stop_when_saturated and point.saturated:
+            break
+    return result

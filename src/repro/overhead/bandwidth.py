@@ -1,0 +1,89 @@
+"""Bandwidth overhead model (paper Table 2).
+
+Overhead is expressed in extra bits per *data* flit.  Virtual-channel flow
+control pads every flit with a VCID and amortises the destination field over
+the packet; flit-reservation flow control moves the VCID (and type) onto the
+control flits, amortises the control VCID over the data flits a control flit
+leads, and pays ``log2 s`` bits of arrival-time stamp per data flit.
+
+For the paper's configurations (d=1, v_c=v_d, s=32) the net extra cost of
+flit-reservation flow control is the 5-bit arrival time, about 2% of a
+256-bit data flit -- the "bandwidth bias" the throughput comparisons charge
+against FR's gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.vc.config import VCConfig
+from repro.core.config import FRConfig
+from repro.overhead.storage import ceil_log2
+
+
+@dataclass(frozen=True)
+class BandwidthOverhead:
+    """Per-data-flit overhead of one configuration, in bits, by component."""
+
+    name: str
+    destination: float
+    vcid: float
+    arrival_times: float
+
+    @property
+    def bits_per_data_flit(self) -> float:
+        return self.destination + self.vcid + self.arrival_times
+
+    def fraction_of_flit(self, flit_bits: int = 256) -> float:
+        """Overhead as a fraction of the data flit payload width."""
+        return self.bits_per_data_flit / flit_bits
+
+
+def vc_bandwidth(
+    config: VCConfig, packet_length: int, destination_bits: int = 6
+) -> BandwidthOverhead:
+    """Table 2, virtual-channel column: ``n/L + log2 v_d``."""
+    return BandwidthOverhead(
+        name=config.name,
+        destination=destination_bits / packet_length,
+        vcid=float(ceil_log2(config.num_vcs)),
+        arrival_times=0.0,
+    )
+
+
+def fr_bandwidth(
+    config: FRConfig, packet_length: int, destination_bits: int = 6
+) -> BandwidthOverhead:
+    """Table 2, flit-reservation column:
+    ``n/L + (log2 v_c / L) (1 + (L-1)/d) + log2 s``.
+
+    The VCID term counts one VCID per control flit -- ``1 + ceil((L-1)/d)``
+    control flits for an L-data-flit packet -- spread over the L data flits.
+    """
+    length = packet_length
+    d = config.data_flits_per_control
+    control_flits = 1 + (length - 1) / d
+    vcid_bits = ceil_log2(config.control_vcs) * control_flits / length
+    return BandwidthOverhead(
+        name=config.name,
+        destination=destination_bits / length,
+        vcid=vcid_bits,
+        arrival_times=float(ceil_log2(config.scheduling_horizon)),
+    )
+
+
+def fr_extra_bandwidth_fraction(
+    fr_config: FRConfig,
+    vc_config: VCConfig,
+    packet_length: int,
+    flit_bits: int = 256,
+    destination_bits: int = 6,
+) -> float:
+    """FR's extra per-flit bandwidth relative to VC, as a payload fraction.
+
+    This is the ~2% "bias" the paper subtracts from FR's raw throughput
+    improvement when quoting net gains (Sections 4.1 and 4.2).
+    """
+    fr = fr_bandwidth(fr_config, packet_length, destination_bits)
+    vc = vc_bandwidth(vc_config, packet_length, destination_bits)
+    return (fr.bits_per_data_flit - vc.bits_per_data_flit) / flit_bits

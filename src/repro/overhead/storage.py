@@ -1,0 +1,135 @@
+"""Storage overhead model (paper Table 1).
+
+All formulas are the "General" columns of Table 1, evaluated per node (5
+input channels: four mesh ports plus injection).  Bit widths of counters and
+pointers use ceiling log2, which is what reproduces every tabulated VC value
+and the FR6 column exactly.
+
+Known discrepancy: the paper's FR13 "input reservation table" cell (1980
+bits) does not follow from its own general formula
+``[(1 + log2 s + 2 + 2 log2 b_d) x s + b_c] x 5``, which gives 2620 bits
+(the FR6 cell, 2270, *does* follow).  We report the formula value; the
+benchmark prints both so the difference is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.vc.config import VCConfig
+from repro.core.config import FRConfig
+
+PORTS_PER_NODE = 5
+MESH_OUTPUTS = 4
+
+
+def ceil_log2(value: int) -> int:
+    """Bits needed to index ``value`` distinct items (>= 1)."""
+    if value < 1:
+        raise ValueError(f"cannot take log2 of {value}")
+    return max(1, (value - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Per-node storage of one configuration, in bits, by component."""
+
+    name: str
+    data_buffers: int
+    control_buffers: int
+    queue_pointers: int
+    output_reservation_table: int
+    input_reservation_table: int
+    data_flit_bits: int
+
+    @property
+    def bits_per_node(self) -> int:
+        return (
+            self.data_buffers
+            + self.control_buffers
+            + self.queue_pointers
+            + self.output_reservation_table
+            + self.input_reservation_table
+        )
+
+    @property
+    def flits_per_input_channel(self) -> float:
+        """Total node storage expressed in data-flit equivalents per input,
+        the paper's bottom row (payload bits per flit x 5 inputs)."""
+        return self.bits_per_node / (self.data_flit_bits * PORTS_PER_NODE)
+
+
+class VCStorageModel:
+    """Table 1, virtual-channel columns."""
+
+    def __init__(self, flit_bits: int = 256, type_bits: int = 2) -> None:
+        self.flit_bits = flit_bits
+        self.type_bits = type_bits
+
+    def breakdown(self, config: VCConfig) -> StorageBreakdown:
+        v = config.num_vcs
+        b = config.buffers_per_input
+        # Each buffered data flit is padded with its VCID and a type field.
+        data_buffers = (self.flit_bits + ceil_log2(v) + self.type_bits) * b * PORTS_PER_NODE
+        queue_pointers = 2 * ceil_log2(b) * v * PORTS_PER_NODE
+        # Channel status bit plus next-hop buffer count, per output VC.
+        output_table = (1 + ceil_log2(b)) * MESH_OUTPUTS * v
+        return StorageBreakdown(
+            name=config.name,
+            data_buffers=data_buffers,
+            control_buffers=0,
+            queue_pointers=queue_pointers,
+            output_reservation_table=output_table,
+            input_reservation_table=0,
+            data_flit_bits=self.flit_bits,
+        )
+
+
+class FRStorageModel:
+    """Table 1, flit-reservation columns."""
+
+    def __init__(self, flit_bits: int = 256, type_bits: int = 2) -> None:
+        self.flit_bits = flit_bits
+        self.type_bits = type_bits
+
+    def breakdown(self, config: FRConfig) -> StorageBreakdown:
+        b_d = config.data_buffers_per_input
+        b_c = config.control_buffers_per_input
+        v_c = config.control_vcs
+        d = config.data_flits_per_control
+        s = config.scheduling_horizon
+        # Data buffers hold pure payload; all tags ride on control flits.
+        data_buffers = self.flit_bits * b_d * PORTS_PER_NODE
+        control_flit_bits = ceil_log2(v_c) + self.type_bits + d * ceil_log2(s)
+        control_buffers = control_flit_bits * b_c * PORTS_PER_NODE
+        queue_pointers = 2 * ceil_log2(b_c) * v_c * PORTS_PER_NODE
+        # Busy bit plus next-hop free-buffer count, for every horizon slot.
+        output_table = (1 + ceil_log2(b_d)) * s * MESH_OUTPUTS
+        # Per slot: flit-arriving bit, departure time, output channel (2 bits
+        # for the 4 mesh outputs), buffer-in and buffer-out indices; plus one
+        # occupancy bit per buffer.  The paper indexes buffers with log2 b_d
+        # and sizes the occupancy vector by b_c in its formula; we follow the
+        # formula as printed.
+        slot_bits = 1 + ceil_log2(s) + 2 + 2 * ceil_log2(b_d)
+        input_table = (slot_bits * s + b_c) * PORTS_PER_NODE
+        return StorageBreakdown(
+            name=config.name,
+            data_buffers=data_buffers,
+            control_buffers=control_buffers,
+            queue_pointers=queue_pointers,
+            output_reservation_table=output_table,
+            input_reservation_table=input_table,
+            data_flit_bits=self.flit_bits,
+        )
+
+
+#: Values printed in the paper's Table 1, for regression against our model.
+PAPER_TABLE1 = {
+    "VC8": {"bits_per_node": 10452, "flits_per_input": 8.17},
+    "VC16": {"bits_per_node": 21040, "flits_per_input": 16.44},
+    "VC32": {"bits_per_node": 42352, "flits_per_input": 33.09},
+    "FR6": {"bits_per_node": 10762, "flits_per_input": 8.40},
+    # The FR13 totals inherit the paper's input-reservation-table arithmetic
+    # slip (see module docstring); the formula gives 20600 bits / 16.09 flits.
+    "FR13": {"bits_per_node": 19960, "flits_per_input": 15.59},
+}

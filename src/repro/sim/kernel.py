@@ -1,0 +1,78 @@
+"""The synchronous simulation kernel.
+
+Every network model in this repository is *cycle-stepped*: a single global
+clock advances one cycle at a time, and on each cycle the network performs its
+internal phases (control processing, switch traversal, link delivery...) in a
+fixed order.  The kernel owns the clock and the stop conditions; the network
+owns the semantics of a cycle.
+
+The kernel is deliberately tiny.  Flit-level simulations of an 8x8 mesh spend
+all their time inside the routers, so the kernel avoids any per-component
+dispatch overhead: it calls exactly one ``step(cycle)`` callable per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+
+class SimulationError(Exception):
+    """Raised when a run cannot make progress (e.g. a drain never finishes)."""
+
+
+class SteppableNetwork(Protocol):
+    """What the kernel requires of a network model."""
+
+    def step(self, cycle: int) -> None:
+        """Advance the network by one clock cycle."""
+
+
+class Simulator:
+    """Drives a :class:`SteppableNetwork` through time.
+
+    The simulator exposes the current cycle, single-step and run-until
+    control, and guards every run with a hard cycle ceiling so a deadlocked
+    or misconfigured network fails loudly instead of spinning forever.
+    """
+
+    def __init__(self, network: SteppableNetwork, max_cycles: int = 10_000_000) -> None:
+        self.network = network
+        self.cycle = 0
+        self.max_cycles = max_cycles
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.network.step(self.cycle)
+            self.cycle += 1
+            if self.cycle > self.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded the hard ceiling of "
+                    f"{self.max_cycles} cycles"
+                )
+
+    def run_until(
+        self,
+        done: Callable[[], bool],
+        deadline: Optional[int] = None,
+        check_every: int = 1,
+    ) -> int:
+        """Step until ``done()`` is true; return the cycle it became true.
+
+        ``deadline`` is an absolute cycle number past which the run is
+        considered stuck and a :class:`SimulationError` is raised.
+        ``check_every`` trades stop-condition precision for speed when the
+        condition is expensive to evaluate.
+        """
+        limit = self.max_cycles if deadline is None else min(deadline, self.max_cycles)
+        while not done():
+            if self.cycle >= limit:
+                raise SimulationError(
+                    f"stop condition not reached by cycle {limit}; the network "
+                    "is deadlocked, starved, or the deadline is too tight"
+                )
+            self.step(check_every)
+        return self.cycle
+
+    def __repr__(self) -> str:
+        return f"Simulator(cycle={self.cycle})"

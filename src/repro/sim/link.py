@@ -1,0 +1,98 @@
+"""Pipelined point-to-point links.
+
+A link models a wire (or a bundle of wires) between two routers.  It is fully
+pipelined: one *batch* of up to ``width`` items can be launched every cycle,
+and each batch arrives exactly ``delay`` cycles later.  The paper's two
+physical regimes map onto two parameterisations:
+
+* **fast control** -- data links with ``delay=4`` and control/credit links
+  with ``delay=1`` (control wires are four times faster), and
+* **leading control** -- every link with ``delay=1``.
+
+The control network additionally injects and forwards *two* control flits per
+cycle (paper footnote 12), which is the ``width=2`` case.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class LinkOverflowError(Exception):
+    """Raised when more than ``width`` items are launched in one cycle.
+
+    Flow control is supposed to make this impossible; hitting it indicates a
+    router bug, so it is an error rather than silent back-pressure.
+    """
+
+
+class Link(Generic[T]):
+    """A fixed-delay, fixed-width pipelined channel.
+
+    Items sent during cycle ``c`` are delivered by :meth:`receive` at cycle
+    ``c + delay``.  Internally the in-flight items live in a circular buffer
+    of ``delay + 1`` slots indexed by absolute cycle, so both operations are
+    O(1) and no per-cycle sliding work is needed for idle links.
+    """
+
+    __slots__ = (
+        "delay",
+        "width",
+        "total_sent",
+        "_slots",
+        "_sent_this_cycle",
+        "_last_send_cycle",
+    )
+
+    def __init__(self, delay: int, width: int = 1) -> None:
+        if delay < 1:
+            raise ValueError(f"link delay must be >= 1 cycle, got {delay}")
+        if width < 1:
+            raise ValueError(f"link width must be >= 1 flit/cycle, got {width}")
+        self.delay = delay
+        self.width = width
+        self.total_sent = 0  # lifetime launches, for utilization statistics
+        self._slots: list[list[T]] = [[] for _ in range(delay + 1)]
+        self._sent_this_cycle = 0
+        self._last_send_cycle = -1
+
+    def send(self, item: T, cycle: int) -> None:
+        """Launch ``item`` onto the wire during ``cycle``."""
+        if cycle != self._last_send_cycle:
+            self._last_send_cycle = cycle
+            self._sent_this_cycle = 0
+        if self._sent_this_cycle >= self.width:
+            raise LinkOverflowError(
+                f"link of width {self.width} asked to carry more than "
+                f"{self.width} items in cycle {cycle}"
+            )
+        self._sent_this_cycle += 1
+        self.total_sent += 1
+        self._slots[(cycle + self.delay) % (self.delay + 1)].append(item)
+
+    def capacity_remaining(self, cycle: int) -> int:
+        """How many more items can still be launched during ``cycle``."""
+        if cycle != self._last_send_cycle:
+            return self.width
+        return self.width - self._sent_this_cycle
+
+    def receive(self, cycle: int) -> list[T]:
+        """Drain and return the items arriving at ``cycle``.
+
+        Must be called at most once per cycle per link (arrivals are consumed).
+        """
+        index = cycle % (self.delay + 1)
+        arrivals = self._slots[index]
+        if not arrivals:
+            return arrivals
+        self._slots[index] = []
+        return arrivals
+
+    def in_flight(self) -> int:
+        """Number of items currently on the wire (for occupancy statistics)."""
+        return sum(len(slot) for slot in self._slots)
+
+    def __repr__(self) -> str:
+        return f"Link(delay={self.delay}, width={self.width})"

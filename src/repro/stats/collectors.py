@@ -1,0 +1,225 @@
+"""Runtime statistics collectors.
+
+Each collector is a small accumulator the networks feed during simulation:
+
+* :class:`LatencyStats` -- packet latency sample (mean, percentiles, CI),
+* :class:`ThroughputCounter` -- flits ejected inside a measurement window,
+* :class:`OccupancyTracker` -- how often a buffer pool is full (the paper's
+  Section 4.2 observation that FR6 runs ~40% full near saturation while VC
+  saturates below 5% full), and
+* :class:`ControlLeadTracker` -- how far control flits arrive ahead of their
+  data flits (Section 4.4's ~14-15 cycle lead).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.stats.confidence import mean_and_halfwidth
+
+
+class LatencyStats:
+    """Accumulates per-packet latencies and summarises them."""
+
+    def __init__(self) -> None:
+        self._samples: list[int] = []
+
+    def record(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self._samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def maximum(self) -> int:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return max(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._samples)
+        position = (len(ordered) - 1) * q / 100.0
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return float(ordered[low])
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def confidence_halfwidth(self, level: float = 0.95) -> float:
+        """Half-width of the CI of the mean (batch means, so correlated
+        samples from one run do not understate the error)."""
+        _, halfwidth = mean_and_halfwidth(self._samples, level=level)
+        return halfwidth
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation of the latencies."""
+        n = len(self._samples)
+        if n < 2:
+            raise ValueError("need at least 2 samples for a standard deviation")
+        mean = self.mean
+        return math.sqrt(sum((x - mean) ** 2 for x in self._samples) / (n - 1))
+
+    def histogram(self, bin_width: int = 5) -> list[tuple[int, int]]:
+        """(bin_start, count) pairs covering the sample, fixed-width bins.
+
+        Empty bins inside the range are included so the shape (e.g. the
+        heavy saturation tail) reads correctly when printed.
+        """
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        if bin_width < 1:
+            raise ValueError(f"bin width must be >= 1, got {bin_width}")
+        low = min(self._samples) // bin_width * bin_width
+        high = max(self._samples) // bin_width * bin_width
+        counts = {start: 0 for start in range(low, high + 1, bin_width)}
+        for sample in self._samples:
+            counts[sample // bin_width * bin_width] += 1
+        return sorted(counts.items())
+
+    def format_histogram(self, bin_width: int = 5, bar_width: int = 40) -> str:
+        """A printable text histogram of the latency distribution."""
+        rows = self.histogram(bin_width)
+        peak = max(count for _, count in rows)
+        lines = []
+        for start, count in rows:
+            bar = "#" * round(bar_width * count / peak) if peak else ""
+            lines.append(f"{start:>6}-{start + bin_width - 1:<6}{count:>8}  {bar}")
+        return "\n".join(lines)
+
+    def samples(self) -> list[int]:
+        """A copy of the raw sample list."""
+        return list(self._samples)
+
+
+class ThroughputCounter:
+    """Counts flits ejected per node inside a measurement window."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.window: tuple[int, int] | None = None
+        self.flits_ejected = 0
+        self.packets_ejected = 0
+
+    def set_window(self, start: int, end: int) -> None:
+        if end <= start:
+            raise ValueError(f"empty measurement window [{start}, {end})")
+        self.window = (start, end)
+        self.flits_ejected = 0
+        self.packets_ejected = 0
+
+    def record_flit(self, cycle: int) -> None:
+        if self.window is not None and self.window[0] <= cycle < self.window[1]:
+            self.flits_ejected += 1
+
+    def record_packet(self, cycle: int) -> None:
+        if self.window is not None and self.window[0] <= cycle < self.window[1]:
+            self.packets_ejected += 1
+
+    @property
+    def flits_per_node_per_cycle(self) -> float:
+        if self.window is None:
+            raise ValueError("measurement window never set")
+        cycles = self.window[1] - self.window[0]
+        return self.flits_ejected / (cycles * self.num_nodes)
+
+
+class OccupancyTracker:
+    """Tracks fullness of a buffer pool over time.
+
+    ``record(occupied)`` is called once per cycle with the number of occupied
+    buffers; the tracker reports the fraction of cycles the pool was full and
+    the mean occupancy.
+    """
+
+    def __init__(self, pool_size: int) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool size must be >= 1, got {pool_size}")
+        self.pool_size = pool_size
+        self.cycles = 0
+        self.full_cycles = 0
+        self.occupied_sum = 0
+
+    def record(self, occupied: int) -> None:
+        if not 0 <= occupied <= self.pool_size:
+            raise ValueError(
+                f"occupancy {occupied} outside pool of {self.pool_size} buffers"
+            )
+        self.cycles += 1
+        self.occupied_sum += occupied
+        if occupied == self.pool_size:
+            self.full_cycles += 1
+
+    @property
+    def fraction_full(self) -> float:
+        if self.cycles == 0:
+            raise ValueError("no occupancy samples recorded")
+        return self.full_cycles / self.cycles
+
+    @property
+    def mean_occupancy(self) -> float:
+        if self.cycles == 0:
+            raise ValueError("no occupancy samples recorded")
+        return self.occupied_sum / self.cycles
+
+
+class ControlLeadTracker:
+    """Measures how far control flits arrive ahead of their data flits.
+
+    At the destination, the flit-reservation network reports the arrival
+    cycle of each packet's control head flit and of its first data flit; the
+    difference is the control lead the paper tracks in Section 4.4.
+    """
+
+    def __init__(self) -> None:
+        self._control_arrival: dict[int, int] = {}
+        self._data_arrival: dict[int, int] = {}
+        self._done: set[int] = set()
+        self._leads: list[int] = []
+
+    def record_control_arrival(self, packet_id: int, cycle: int) -> None:
+        if packet_id in self._done or packet_id in self._control_arrival:
+            return
+        data_cycle = self._data_arrival.pop(packet_id, None)
+        if data_cycle is not None:
+            # Data beat its control flit (possible under heavy control load);
+            # the lead is negative.
+            self._leads.append(data_cycle - cycle)
+            self._done.add(packet_id)
+            return
+        self._control_arrival[packet_id] = cycle
+
+    def record_first_data_arrival(self, packet_id: int, cycle: int) -> None:
+        if packet_id in self._done or packet_id in self._data_arrival:
+            return
+        control_cycle = self._control_arrival.pop(packet_id, None)
+        if control_cycle is not None:
+            self._leads.append(cycle - control_cycle)
+            self._done.add(packet_id)
+            return
+        self._data_arrival[packet_id] = cycle
+
+    @property
+    def count(self) -> int:
+        return len(self._leads)
+
+    @property
+    def mean_lead(self) -> float:
+        if not self._leads:
+            raise ValueError("no control-lead samples recorded")
+        return sum(self._leads) / len(self._leads)

@@ -1,0 +1,98 @@
+"""Channel utilization reporting.
+
+The paper frames flow control as the problem of keeping channel bandwidth
+and buffers busy with useful work; this module reports how busy each data
+channel actually was.  It works for any network model whose routers expose
+``data_out_links``/``out_data_links`` (the FR and VC routers respectively)
+and is the basis of the bottleneck analysis in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.mesh import EAST, NORTH, PORT_NAMES, SOUTH, WEST
+
+
+@dataclass
+class ChannelUtilization:
+    """Busy fractions of every data channel over a measured interval."""
+
+    cycles: int
+    #: (node, port) -> flits carried / cycles observed
+    channels: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        if not self.channels:
+            raise ValueError("no channels observed")
+        return sum(self.channels.values()) / len(self.channels)
+
+    @property
+    def peak(self) -> float:
+        if not self.channels:
+            raise ValueError("no channels observed")
+        return max(self.channels.values())
+
+    def hottest(self, count: int = 5) -> list[tuple[tuple[int, int], float]]:
+        """The ``count`` busiest channels, as ((node, port), utilization)."""
+        ranked = sorted(self.channels.items(), key=lambda item: -item[1])
+        return ranked[:count]
+
+    def format(self, count: int = 5) -> str:
+        lines = [
+            f"data channel utilization over {self.cycles} cycles: "
+            f"mean {self.mean:.3f}, peak {self.peak:.3f}",
+            "hottest channels:",
+        ]
+        for (node, port), value in self.hottest(count):
+            lines.append(f"  node {node:>3} {PORT_NAMES[port]:<6} {value:.3f}")
+        return "\n".join(lines)
+
+
+def measure_channel_utilization(network, simulator, cycles: int) -> ChannelUtilization:
+    """Run ``cycles`` more cycles on ``simulator`` and report busy fractions.
+
+    The network should already be warmed to the state of interest; the
+    caller owns warm-up and the choice of observation window.
+    """
+    links = _data_links(network)
+    if not links:
+        raise ValueError("network exposes no data links")
+    before = {key: link.total_sent for key, link in links.items()}
+    simulator.step(cycles)
+    return ChannelUtilization(
+        cycles=cycles,
+        channels={
+            key: (link.total_sent - before[key]) / cycles
+            for key, link in links.items()
+        },
+    )
+
+
+def snapshot_channel_utilization(network, cycles_observed: int) -> ChannelUtilization:
+    """Report lifetime busy fractions of a network already driven elsewhere."""
+    links = _data_links(network)
+    if not links:
+        raise ValueError("network exposes no data links")
+    return ChannelUtilization(
+        cycles=cycles_observed,
+        channels={
+            key: link.total_sent / cycles_observed for key, link in links.items()
+        },
+    )
+
+
+def _data_links(network) -> dict[tuple[int, int], object]:
+    links: dict[tuple[int, int], object] = {}
+    for router in network.routers:
+        out_links = getattr(router, "data_out_links", None) or getattr(
+            router, "out_data_links", None
+        )
+        if out_links is None:
+            continue
+        for port in (NORTH, EAST, SOUTH, WEST):
+            link = out_links[port]
+            if link is not None:
+                links[(router.node, port)] = link
+    return links

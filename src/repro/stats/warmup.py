@@ -1,0 +1,70 @@
+"""Warm-up detection.
+
+The paper runs "a warm-up phase of a minimum of 10,000 cycles till average
+queue lengths have stabilized" before sampling packets.  The detector here
+implements that criterion: it watches a scalar signal (the network-wide mean
+source-queue length), compares the means of two adjacent windows, and
+declares the network warm when they agree within a relative tolerance --
+never earlier than a configured minimum number of cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class WarmupDetector:
+    """Declares warm-up complete when a signal's windowed mean stabilises.
+
+    ``record`` is fed one observation per cycle.  Warm-up is complete at the
+    first cycle >= ``min_cycles`` where the mean of the last ``window``
+    observations is within ``tolerance`` (relative) of the mean of the
+    ``window`` observations before those.  An absolute floor avoids division
+    trouble when queues are empty at low load (an empty network is, after
+    all, maximally stable).
+    """
+
+    def __init__(
+        self,
+        min_cycles: int = 10_000,
+        window: int = 1_000,
+        tolerance: float = 0.05,
+        absolute_floor: float = 0.05,
+    ) -> None:
+        if min_cycles < 2 * window:
+            raise ValueError(
+                f"min_cycles ({min_cycles}) must cover two windows of {window}"
+            )
+        self.min_cycles = min_cycles
+        self.window = window
+        self.tolerance = tolerance
+        self.absolute_floor = absolute_floor
+        self._recent: deque[float] = deque(maxlen=2 * window)
+        self._observations = 0
+        self.warm_at: int | None = None
+
+    @property
+    def is_warm(self) -> bool:
+        return self.warm_at is not None
+
+    def record(self, value: float, cycle: int) -> bool:
+        """Feed one observation; returns True once warm-up is complete."""
+        if self.warm_at is not None:
+            return True
+        self._recent.append(value)
+        self._observations += 1
+        if self._observations < self.min_cycles or len(self._recent) < 2 * self.window:
+            return False
+        recent = list(self._recent)
+        older_mean = sum(recent[: self.window]) / self.window
+        newer_mean = sum(recent[self.window :]) / self.window
+        if self._stable(older_mean, newer_mean):
+            self.warm_at = cycle
+            return True
+        return False
+
+    def _stable(self, older_mean: float, newer_mean: float) -> bool:
+        if max(older_mean, newer_mean) <= self.absolute_floor:
+            return True
+        reference = max(abs(older_mean), abs(newer_mean))
+        return abs(newer_mean - older_mean) <= self.tolerance * reference

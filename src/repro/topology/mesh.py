@@ -1,0 +1,137 @@
+"""Two-dimensional mesh topology.
+
+Nodes are numbered row-major: node ``y * width + x`` sits at coordinate
+``(x, y)``.  Each router has up to four mesh ports (north/east/south/west)
+plus an injection port from and an ejection port to the local node interface.
+Port constants are small integers so they can index plain lists in the hot
+simulation loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+NORTH = 0
+EAST = 1
+SOUTH = 2
+WEST = 3
+INJECT = 4  # from the local node interface into the router
+EJECT = 4  # from the router to the local node interface
+
+MESH_PORTS = (NORTH, EAST, SOUTH, WEST)
+PORT_NAMES = {NORTH: "north", EAST: "east", SOUTH: "south", WEST: "west", INJECT: "local"}
+
+_OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+
+
+def opposite_port(port: int) -> int:
+    """The port on the neighbouring router that faces ``port`` back."""
+    return _OPPOSITE[port]
+
+
+class Mesh2D:
+    """A ``width x height`` mesh and its structural queries.
+
+    The class is pure topology: which nodes exist, who neighbours whom, hop
+    distances, and the uniform-traffic capacity used to express offered load
+    as a fraction of bisection bandwidth (the paper's x-axis).
+    """
+
+    def __init__(self, width: int = 8, height: int = 8) -> None:
+        if width < 2 or height < 2:
+            raise ValueError(
+                f"mesh must be at least 2x2 to have a bisection, got {width}x{height}"
+            )
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        """``(x, y)`` coordinate of ``node``."""
+        self._check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at coordinate ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinate ({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def neighbor(self, node: int, port: int) -> Optional[int]:
+        """Neighbour of ``node`` through mesh ``port``, or None at an edge."""
+        x, y = self.coordinates(node)
+        if port == NORTH:
+            return self.node_at(x, y - 1) if y > 0 else None
+        if port == SOUTH:
+            return self.node_at(x, y + 1) if y < self.height - 1 else None
+        if port == EAST:
+            return self.node_at(x + 1, y) if x < self.width - 1 else None
+        if port == WEST:
+            return self.node_at(x - 1, y) if x > 0 else None
+        raise ValueError(f"port {port} is not a mesh port")
+
+    def mesh_ports(self, node: int) -> list[int]:
+        """The mesh ports of ``node`` that actually have a neighbour."""
+        return [port for port in MESH_PORTS if self.neighbor(node, port) is not None]
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(range(self.num_nodes))
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan distance in hops between two nodes."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def mean_hop_distance(self) -> float:
+        """Exact mean hop count of uniform random traffic (dest != src).
+
+        For a ``k``-node line the mean |x_s - x_d| over all ordered pairs is
+        ``(k^2 - 1) / (3k)``; the mesh sums the two dimensions and the
+        dest != src restriction rescales by ``N / (N - 1)``.
+        """
+        line_mean_x = (self.width**2 - 1) / (3 * self.width)
+        line_mean_y = (self.height**2 - 1) / (3 * self.height)
+        n = self.num_nodes
+        return (line_mean_x + line_mean_y) * n / (n - 1)
+
+    def bisection_channels(self) -> int:
+        """Channels crossing the bisection in one direction.
+
+        The mesh is cut across its longer dimension (for the paper's square
+        mesh, either cut gives the same count).
+        """
+        if self.width >= self.height:
+            return self.height
+        return self.width
+
+    def capacity_flits_per_node(self) -> float:
+        """Injection rate (flits/node/cycle) that loads the bisection to 1.
+
+        Under uniform random traffic on a width-``k`` mesh cut down the
+        middle, each direction of the bisection carries
+        ``N * rate * p_cross / 2`` flits per cycle over
+        ``bisection_channels()`` wires, where ``p_cross`` is the probability
+        a packet crosses the cut.  For an even-width mesh ``p_cross`` is 1/2
+        (times the dest != src correction), giving the familiar ``4/k``.
+        """
+        n = self.num_nodes
+        if self.width >= self.height:
+            near = (self.width // 2) * self.height
+        else:
+            near = (self.height // 2) * self.width
+        far = n - near
+        # Ordered (src, dst) pairs crossing the cut, dest != src.
+        crossing_pairs = 2 * near * far
+        total_pairs = n * (n - 1)
+        p_cross = crossing_pairs / total_pairs
+        per_direction_load = (n * p_cross / 2) / self.bisection_channels()
+        return 1.0 / per_direction_load
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes} nodes")
+
+    def __repr__(self) -> str:
+        return f"Mesh2D({self.width}x{self.height})"

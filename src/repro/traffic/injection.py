@@ -1,0 +1,82 @@
+"""Injection processes: when does a source create a new packet?
+
+The paper uses a *constant rate* source -- packets are created on a fixed
+period (with a per-node random phase so the whole mesh does not pulse in
+lockstep).  A Bernoulli process is also provided since it is the other
+standard choice in the literature and is useful for sensitivity checks.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import DeterministicRng
+
+
+class InjectionProcess:
+    """Decides, cycle by cycle, whether a source creates a packet."""
+
+    def should_inject(self, cycle: int, rng: DeterministicRng) -> bool:
+        raise NotImplementedError
+
+    @property
+    def rate(self) -> float:
+        """Long-run packets per cycle."""
+        raise NotImplementedError
+
+
+class PeriodicInjection(InjectionProcess):
+    """Constant-rate source: an accumulator fires whenever it crosses 1.
+
+    ``rate`` is packets per cycle and may be any value in (0, 1].  The
+    accumulator starts at a random phase in [0, 1) so different nodes are
+    decorrelated.
+    """
+
+    def __init__(self, rate: float, phase: float = 0.0) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"injection rate must be in (0, 1] packets/cycle, got {rate}")
+        if not 0.0 <= phase < 1.0:
+            raise ValueError(f"phase must be in [0, 1), got {phase}")
+        self._rate = rate
+        self._accumulator = phase
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def should_inject(self, cycle: int, rng: DeterministicRng) -> bool:
+        self._accumulator += self._rate
+        if self._accumulator >= 1.0:
+            self._accumulator -= 1.0
+            return True
+        return False
+
+
+class BernoulliInjection(InjectionProcess):
+    """Memoryless source: inject with probability ``rate`` each cycle."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"injection rate must be in (0, 1] packets/cycle, got {rate}")
+        self._rate = rate
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def should_inject(self, cycle: int, rng: DeterministicRng) -> bool:
+        return rng.chance(self._rate)
+
+
+def make_injection_process(
+    kind: str, rate: float, rng: DeterministicRng | None = None
+) -> InjectionProcess:
+    """Build an injection process by name ('periodic' or 'bernoulli').
+
+    For periodic sources a random phase is drawn from ``rng`` when provided.
+    """
+    if kind == "periodic":
+        phase = rng.random() if rng is not None else 0.0
+        return PeriodicInjection(rate, phase=phase)
+    if kind == "bernoulli":
+        return BernoulliInjection(rate)
+    raise ValueError(f"unknown injection process {kind!r}; use 'periodic' or 'bernoulli'")

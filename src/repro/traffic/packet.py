@@ -1,0 +1,88 @@
+"""The workload-level packet record.
+
+A :class:`Packet` is flow-control agnostic: it says *what* must be delivered
+(source, destination, length in flits, creation time).  Each router model
+turns packets into its own flit representation -- head/body/tail flits for
+virtual-channel and wormhole flow control, control flits plus anonymous data
+flits for flit-reservation flow control.
+"""
+
+from __future__ import annotations
+
+
+class Packet:
+    """One message injected into the network.
+
+    ``length`` counts the flits the workload pays for: for virtual-channel
+    flow control it is the total head+body+tail flit count; for
+    flit-reservation flow control it is the number of data flits (control
+    flits are overhead accounted separately, as in the paper's Table 2).
+    """
+
+    __slots__ = (
+        "packet_id",
+        "source",
+        "destination",
+        "length",
+        "creation_cycle",
+        "measured",
+        "delivery_cycle",
+        "flits_delivered",
+    )
+
+    def __init__(
+        self,
+        packet_id: int,
+        source: int,
+        destination: int,
+        length: int,
+        creation_cycle: int,
+        measured: bool = False,
+    ) -> None:
+        if length < 1:
+            raise ValueError(f"packet length must be >= 1 flit, got {length}")
+        if source == destination:
+            raise ValueError("packets must have destination != source")
+        self.packet_id = packet_id
+        self.source = source
+        self.destination = destination
+        self.length = length
+        self.creation_cycle = creation_cycle
+        self.measured = measured
+        self.delivery_cycle: int | None = None
+        self.flits_delivered = 0
+
+    def record_flit_delivery(self, cycle: int) -> bool:
+        """Note one flit ejected at the destination; True when packet complete.
+
+        Packet latency spans first-flit creation to last-flit ejection
+        (the paper's definition, including source queueing time).
+        """
+        self.flits_delivered += 1
+        if self.flits_delivered > self.length:
+            raise ValueError(
+                f"packet {self.packet_id} delivered {self.flits_delivered} flits "
+                f"but has length {self.length}"
+            )
+        if self.flits_delivered == self.length:
+            self.delivery_cycle = cycle
+            return True
+        return False
+
+    @property
+    def delivered(self) -> bool:
+        """Whether every flit of the packet has been ejected."""
+        return self.delivery_cycle is not None
+
+    @property
+    def latency(self) -> int:
+        """Creation-to-last-ejection latency in cycles (delivered packets only)."""
+        if self.delivery_cycle is None:
+            raise ValueError(f"packet {self.packet_id} not yet delivered")
+        return self.delivery_cycle - self.creation_cycle
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(id={self.packet_id}, {self.source}->{self.destination}, "
+            f"len={self.length}, t0={self.creation_cycle})"
+        )

@@ -1,0 +1,153 @@
+"""Synthetic traffic patterns.
+
+A traffic pattern chooses the destination for each newly created packet.  The
+paper evaluates uniform random traffic; the permutation and hotspot patterns
+here are the standard companions used by the extension benchmarks to stress
+different parts of the mesh.
+
+Deterministic permutation patterns may map a node onto itself (for example
+the diagonal of the transpose); such nodes simply do not inject, which is the
+conventional treatment in the NoC literature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.rng import DeterministicRng
+from repro.topology.mesh import Mesh2D
+
+
+class TrafficPattern:
+    """Base class: maps a source node to a destination per packet."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        """Destination for a packet from ``source``; None means "do not inject"."""
+        raise NotImplementedError
+
+    def active_sources(self) -> list[int]:
+        """Nodes that inject under this pattern."""
+        return [node for node in self.mesh.nodes() if not self._is_self_mapped(node)]
+
+    def _is_self_mapped(self, node: int) -> bool:
+        probe = DeterministicRng(0)
+        return self.destination(node, probe) is None
+
+
+class UniformRandomTraffic(TrafficPattern):
+    """Every packet goes to a uniformly random destination != source."""
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        destination = rng.randint(0, self.mesh.num_nodes - 2)
+        if destination >= source:
+            destination += 1
+        return destination
+
+
+class TransposeTraffic(TrafficPattern):
+    """Node (x, y) sends to node (y, x); requires a square mesh."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        if mesh.width != mesh.height:
+            raise ValueError("transpose traffic requires a square mesh")
+        super().__init__(mesh)
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        x, y = self.mesh.coordinates(source)
+        destination = self.mesh.node_at(y, x)
+        return None if destination == source else destination
+
+
+class BitComplementTraffic(TrafficPattern):
+    """Node (x, y) sends to (width-1-x, height-1-y)."""
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        x, y = self.mesh.coordinates(source)
+        destination = self.mesh.node_at(self.mesh.width - 1 - x, self.mesh.height - 1 - y)
+        return None if destination == source else destination
+
+
+class BitReverseTraffic(TrafficPattern):
+    """Destination is the bit-reversal of the source id (power-of-two meshes)."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        bits = (mesh.num_nodes - 1).bit_length()
+        if 1 << bits != mesh.num_nodes:
+            raise ValueError("bit-reverse traffic requires a power-of-two node count")
+        super().__init__(mesh)
+        self._bits = bits
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        reversed_id = int(format(source, f"0{self._bits}b")[::-1], 2)
+        return None if reversed_id == source else reversed_id
+
+
+class ShuffleTraffic(TrafficPattern):
+    """Perfect shuffle: rotate the source id left by one bit."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        bits = (mesh.num_nodes - 1).bit_length()
+        if 1 << bits != mesh.num_nodes:
+            raise ValueError("shuffle traffic requires a power-of-two node count")
+        super().__init__(mesh)
+        self._bits = bits
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        top_bit = (source >> (self._bits - 1)) & 1
+        destination = ((source << 1) | top_bit) & (self.mesh.num_nodes - 1)
+        return None if destination == source else destination
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with extra probability mass on a few hotspot nodes."""
+
+    def __init__(self, mesh: Mesh2D, hotspots: list[int], hotspot_fraction: float = 0.2) -> None:
+        if not hotspots:
+            raise ValueError("hotspot traffic needs at least one hotspot node")
+        if not 0.0 < hotspot_fraction < 1.0:
+            raise ValueError("hotspot_fraction must be in (0, 1)")
+        super().__init__(mesh)
+        self.hotspots = list(hotspots)
+        self.hotspot_fraction = hotspot_fraction
+        self._uniform = UniformRandomTraffic(mesh)
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        if rng.chance(self.hotspot_fraction):
+            candidates = [h for h in self.hotspots if h != source]
+            if candidates:
+                return rng.choice(candidates)
+        return self._uniform.destination(source, rng)
+
+
+class NeighborTraffic(TrafficPattern):
+    """Each node sends one hop east (wrapping to the row start at the edge)."""
+
+    def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
+        x, y = self.mesh.coordinates(source)
+        return self.mesh.node_at((x + 1) % self.mesh.width, y)
+
+
+_PATTERNS = {
+    "uniform": UniformRandomTraffic,
+    "transpose": TransposeTraffic,
+    "bit_complement": BitComplementTraffic,
+    "bit_reverse": BitReverseTraffic,
+    "shuffle": ShuffleTraffic,
+    "neighbor": NeighborTraffic,
+}
+
+
+def make_traffic_pattern(name: str, mesh: Mesh2D, **kwargs) -> TrafficPattern:
+    """Build a pattern by name ('uniform', 'transpose', 'hotspot', ...)."""
+    if name == "hotspot":
+        hotspots = kwargs.pop("hotspots", [mesh.node_at(mesh.width // 2, mesh.height // 2)])
+        return HotspotTraffic(mesh, hotspots=hotspots, **kwargs)
+    try:
+        pattern_class = _PATTERNS[name]
+    except KeyError:
+        known = ", ".join(sorted([*_PATTERNS, "hotspot"]))
+        raise ValueError(f"unknown traffic pattern {name!r}; known patterns: {known}")
+    return pattern_class(mesh, **kwargs)

@@ -1,0 +1,33 @@
+"""Shared fixtures: small meshes and fast configurations for quick tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.vc.config import VCConfig
+from repro.core.config import FRConfig
+from repro.topology.mesh import Mesh2D
+
+
+@pytest.fixture
+def mesh4() -> Mesh2D:
+    """A 4x4 mesh: big enough for multi-hop routes, cheap to simulate."""
+    return Mesh2D(4, 4)
+
+
+@pytest.fixture
+def mesh8() -> Mesh2D:
+    """The paper's 8x8 mesh."""
+    return Mesh2D(8, 8)
+
+
+@pytest.fixture
+def small_vc_config() -> VCConfig:
+    """A small virtual-channel configuration for unit and integration tests."""
+    return VCConfig(num_vcs=2, buffers_per_vc=4)
+
+
+@pytest.fixture
+def small_fr_config() -> FRConfig:
+    """A small flit-reservation configuration for unit and integration tests."""
+    return FRConfig(data_buffers_per_input=6, control_vcs=2)

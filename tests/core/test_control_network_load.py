@@ -1,0 +1,73 @@
+"""Tests of the Section 5 'excess capacity on the control network' argument.
+
+With d=1 the control network carries exactly one control flit per data flit
+but injects and processes two per cycle, so even when the data network is
+near saturation the control network sees little contention -- the property
+that lets control flits race ahead and keep recycling buffers.
+"""
+
+import pytest
+
+from repro.core.config import FRConfig
+from repro.core.network import FRNetwork
+from repro.sim.kernel import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def run(config, rate, cycles=1_500, seed=4, mesh=None):
+    network = FRNetwork(
+        config, mesh=mesh or Mesh2D(4, 4), injection_rate=rate, seed=seed
+    )
+    simulator = Simulator(network)
+    simulator.step(cycles)
+    return network
+
+
+class TestControlFlitAccounting:
+    def test_one_control_flit_per_data_flit(self, mesh4):
+        """d=1: every data link launch is matched by a control flit launch
+        on the corresponding control link (loads are equal, bandwidth is
+        double -- footnote 12)."""
+        network = run(FRConfig(data_buffers_per_input=6), rate=0.05, mesh=mesh4)
+        data_total = 0
+        ctrl_total = 0
+        for router in network.routers:
+            for port in router.connected_outputs:
+                data_total += router.data_out_links[port].total_sent
+                ctrl_total += router.ctrl_out_links[port].total_sent
+        assert data_total > 500
+        # In steady state the counts differ only by flits in flight.
+        assert ctrl_total == pytest.approx(data_total, rel=0.05)
+
+    def test_wide_control_flits_quarter_the_control_load(self, mesh4):
+        """With d=4 and 5-flit packets, 2 control flits lead 5 data flits:
+        the control network load drops to ~40% of the data network's."""
+        config = FRConfig(data_buffers_per_input=8, data_flits_per_control=4)
+        network = run(config, rate=0.04, mesh=mesh4)
+        data_total = 0
+        ctrl_total = 0
+        for router in network.routers:
+            for port in router.connected_outputs:
+                data_total += router.data_out_links[port].total_sent
+                ctrl_total += router.ctrl_out_links[port].total_sent
+        ratio = ctrl_total / data_total
+        # 2 control flits per 5 data flits = 0.4, plus a few splits.
+        assert 0.35 < ratio < 0.55
+
+    def test_control_stalls_rare_at_moderate_load(self, mesh4):
+        network = run(FRConfig(data_buffers_per_input=6), rate=0.05, mesh=mesh4)
+        processed = sum(
+            router.out_tables[p].reservations_made
+            for router in network.routers
+            for p in range(5)
+            if router.out_tables[p] is not None
+        )
+        stalls = sum(router.schedule_stalls for router in network.routers)
+        assert processed > 1_000
+        assert stalls / processed < 0.2
+
+    def test_no_splits_with_d1(self, mesh4):
+        """The paper's configurations (d=1) never exercise the splitting
+        extension."""
+        network = run(FRConfig(data_buffers_per_input=6), rate=0.10, mesh=mesh4)
+        assert sum(router.splits_performed for router in network.routers) == 0

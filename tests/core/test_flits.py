@@ -1,0 +1,67 @@
+"""Tests for control/data flit construction."""
+
+import pytest
+
+from repro.core.flits import packet_to_control_flits
+from repro.traffic.packet import Packet
+
+
+def make_packet(length=5):
+    return Packet(1, source=0, destination=9, length=length, creation_cycle=0)
+
+
+class TestPacketExpansion:
+    def test_one_control_flit_per_data_flit_when_d_is_1(self):
+        control, data = packet_to_control_flits(make_packet(5), 1)
+        assert len(control) == 5
+        assert len(data) == 5
+        for flit in control:
+            assert len(flit.data_flits) == 1
+
+    def test_head_and_last_flags(self):
+        control, _ = packet_to_control_flits(make_packet(5), 1)
+        assert control[0].is_head
+        assert not control[0].is_last
+        assert control[-1].is_last
+        assert all(not flit.is_head for flit in control[1:])
+
+    def test_single_control_flit_is_head_and_last(self):
+        control, _ = packet_to_control_flits(make_packet(1), 1)
+        assert len(control) == 1
+        assert control[0].is_head and control[0].is_last
+
+    def test_wide_control_flits_group_data(self):
+        control, data = packet_to_control_flits(make_packet(5), 4)
+        assert len(control) == 2
+        assert [len(flit.data_flits) for flit in control] == [4, 1]
+        led = [f for flit in control for f in flit.data_flits]
+        assert led == data
+
+    def test_exact_multiple(self):
+        control, _ = packet_to_control_flits(make_packet(8), 4)
+        assert [len(flit.data_flits) for flit in control] == [4, 4]
+
+    def test_data_flit_indices(self):
+        _, data = packet_to_control_flits(make_packet(3), 1)
+        assert [flit.index for flit in data] == [0, 1, 2]
+
+
+class TestControlFlitState:
+    def test_arrival_times_start_unset(self):
+        control, _ = packet_to_control_flits(make_packet(2), 1)
+        assert control[0].arrival_times == [-1]
+        assert not control[0].fully_scheduled()
+
+    def test_schedule_flags_reset(self):
+        control, _ = packet_to_control_flits(make_packet(1), 1)
+        flit = control[0]
+        flit.scheduled[0] = True
+        flit.arrival_times[0] = 42
+        assert flit.fully_scheduled()
+        flit.reset_schedule_flags()
+        assert not flit.fully_scheduled()
+        assert flit.arrival_times == [42], "arrival times must survive the reset"
+
+    def test_destination_comes_from_packet(self):
+        control, _ = packet_to_control_flits(make_packet(1), 1)
+        assert control[0].destination == 9

@@ -1,0 +1,201 @@
+"""Tests for the output reservation table."""
+
+import pytest
+
+from repro.core.reservation import OutputReservationTable, ReservationError
+
+
+def make_table(horizon=32, buffers=4, delay=4, infinite=False):
+    return OutputReservationTable(
+        horizon, downstream_buffers=buffers, propagation_delay=delay,
+        infinite_buffers=infinite,
+    )
+
+
+class TestConstruction:
+    def test_rejects_tiny_horizon(self):
+        with pytest.raises(ValueError):
+            make_table(horizon=1)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            make_table(buffers=0)
+
+    def test_initial_state_free(self):
+        table = make_table()
+        for cycle in range(32):
+            assert not table.is_busy(cycle)
+            assert table.free_buffers_at(cycle) == 4
+
+
+class TestFindDeparture:
+    def test_earliest_is_next_cycle(self):
+        table = make_table()
+        assert table.find_departure(now=0, earliest=0) == 1
+
+    def test_respects_earliest(self):
+        table = make_table()
+        assert table.find_departure(now=0, earliest=9) == 9
+
+    def test_skips_busy_slot(self):
+        table = make_table()
+        table.reserve(0, 5)
+        assert table.find_departure(now=0, earliest=5) == 6
+
+    def test_none_when_all_busy(self):
+        table = make_table(horizon=4, delay=1)
+        for _ in range(3):  # slots now+1 .. now+3
+            departure = table.find_departure(now=0, earliest=1)
+            table.reserve(0, departure)
+        assert table.find_departure(now=0, earliest=1) is None
+
+    def test_none_when_no_buffers(self):
+        table = make_table(buffers=1, delay=0)
+        table.reserve(0, 1)  # consumes the only downstream buffer from cycle 1 on
+        assert table.find_departure(now=0, earliest=1) is None
+
+    def test_buffer_freed_by_credit_enables_slot(self):
+        table = make_table(buffers=1, delay=0)
+        table.reserve(0, 1)
+        table.apply_credit(0, from_cycle=10)
+        # Channel free at 2..9 but no buffer until 10.
+        assert table.find_departure(now=0, earliest=2) == 10
+
+    def test_hold_to_horizon_semantics(self):
+        """A buffer must be free from arrival through the horizon, so a
+        mid-window credit gap blocks earlier departures."""
+        table = make_table(buffers=1, delay=0)
+        table.reserve(0, 5)  # occupied from 5 to horizon
+        table.apply_credit(0, from_cycle=20)
+        departure = table.find_departure(now=0, earliest=1)
+        # Slots 1..4 have a free buffer at arrival but the count drops to
+        # zero at 5 before the credit at 20, violating the suffix condition.
+        assert departure == 20
+
+
+class TestReserve:
+    def test_marks_busy(self):
+        table = make_table()
+        table.reserve(0, 7)
+        assert table.is_busy(7)
+
+    def test_double_booking_raises(self):
+        table = make_table()
+        table.reserve(0, 7)
+        with pytest.raises(ReservationError):
+            table.reserve(0, 7)
+
+    def test_decrements_from_arrival(self):
+        table = make_table(buffers=4, delay=4)
+        table.reserve(0, 7)
+        assert table.free_buffers_at(10) == 4  # before the flit arrives
+        assert table.free_buffers_at(11) == 3  # from t_d + t_p on
+        assert table.free_buffers_at(31) == 3
+
+    def test_out_of_window_reservation_raises(self):
+        table = make_table(horizon=8)
+        with pytest.raises(ReservationError):
+            table.reserve(0, 100)
+
+    def test_release_restores_state(self):
+        table = make_table()
+        table.reserve(0, 7)
+        table.release(7)
+        assert not table.is_busy(7)
+        assert table.free_buffers_at(11) == 4
+
+    def test_release_unreserved_raises(self):
+        table = make_table()
+        with pytest.raises(ReservationError):
+            table.release(7)
+
+
+class TestCredits:
+    def test_credit_restores_suffix(self):
+        table = make_table(buffers=2, delay=0)
+        table.reserve(0, 3)
+        table.apply_credit(0, from_cycle=6)
+        assert table.free_buffers_at(3) == 1
+        assert table.free_buffers_at(5) == 1
+        assert table.free_buffers_at(6) == 2
+
+    def test_net_zero_for_bypass(self):
+        """Decrement from t and credit from the same t cancel exactly."""
+        table = make_table(buffers=2, delay=0)
+        table.reserve(0, 4)
+        table.apply_credit(0, from_cycle=4)
+        for cycle in range(1, 32):
+            assert table.free_buffers_at(cycle) == 2
+
+    def test_credit_overflow_detected(self):
+        table = make_table(buffers=2, delay=0)
+        with pytest.raises(ReservationError):
+            table.apply_credit(0, from_cycle=1)
+
+    def test_pending_credit_beyond_window_applies_on_slide(self):
+        table = make_table(horizon=8, buffers=1, delay=0)
+        table.reserve(0, 3)  # buffer held from 3 to horizon
+        table.apply_credit(0, from_cycle=30)  # far beyond the window
+        # Inside the current window nothing is free after 3.
+        assert table.find_departure(now=0, earliest=4) is None
+        # Slide the window past cycle 30: the pending credit matures.
+        table.advance(28)
+        assert table.free_buffers_at(29) == 0
+        assert table.free_buffers_at(30) == 1
+        assert table.free_buffers_at(35) == 1
+
+
+class TestWindowSliding:
+    def test_expired_slots_reborn_clear(self):
+        table = make_table(horizon=8)
+        table.reserve(0, 3)
+        table.advance(10)
+        # Cycle 3 expired; the slot now represents cycle 11 and must be free.
+        assert not table.is_busy(11)
+
+    def test_steady_state_carries_over(self):
+        table = make_table(horizon=8, buffers=3, delay=0)
+        table.reserve(0, 2)  # one buffer held to the horizon
+        table.advance(6)
+        # Newly exposed slots inherit the decremented steady state.
+        assert table.free_buffers_at(13) == 2
+
+    def test_big_jump_rebuild(self):
+        table = make_table(horizon=8, buffers=3, delay=0)
+        table.reserve(0, 2)
+        table.apply_credit(0, from_cycle=5)
+        table.advance(1_000)
+        for cycle in range(1_000, 1_008):
+            assert not table.is_busy(cycle)
+            assert table.free_buffers_at(cycle) == 3
+
+    def test_big_jump_with_pending_credit(self):
+        table = make_table(horizon=8, buffers=1, delay=0)
+        table.reserve(0, 3)
+        table.apply_credit(0, from_cycle=500)
+        table.advance(1_000)  # the pending credit matured during the jump
+        assert table.free_buffers_at(1_000) == 1
+
+    def test_queries_behind_window_raise(self):
+        table = make_table()
+        table.advance(100)
+        with pytest.raises(ReservationError):
+            table.is_busy(50)
+
+
+class TestInfiniteBuffers:
+    def test_only_channel_limits(self):
+        table = make_table(infinite=True, delay=0)
+        departures = [table.find_departure(0, 1) for _ in range(3)]
+        for d in departures[:1]:
+            pass
+        table2 = make_table(infinite=True, delay=0)
+        first = table2.find_departure(0, 1)
+        table2.reserve(0, first)
+        second = table2.find_departure(0, 1)
+        assert (first, second) == (1, 2)
+
+    def test_credits_are_noops(self):
+        table = make_table(infinite=True)
+        table.apply_credit(0, from_cycle=5)  # must not raise
+        assert table.free_buffers_at(5) > 1_000_000

@@ -1,0 +1,85 @@
+"""Plumbing tests for the figure generators (simulation stubbed out).
+
+The real curves are exercised by the benchmarks; here we verify each figure
+function sweeps the right configurations with the right parameters, without
+paying for simulations.
+"""
+
+import math
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.experiment import ExperimentResult
+from repro.harness.sweep import LoadSweepResult
+
+
+def fake_point(config_name, load, packet_length):
+    return ExperimentResult(
+        config_name=config_name,
+        offered_load=load,
+        injection_rate=0.01,
+        packet_length=packet_length,
+        seed=1,
+        accepted_load=load,
+        mean_latency=30.0 + 100 * load,
+        latency_ci_halfwidth=0.5,
+        p95_latency=40.0,
+        packets_measured=100,
+        cycles_simulated=1_000,
+        warmup_cycles=500,
+        saturated=False,
+    )
+
+
+@pytest.fixture
+def capture(monkeypatch):
+    calls = []
+
+    def fake_sweep(config, loads, packet_length=5, seed=1, preset="standard", **kwargs):
+        calls.append((config, tuple(loads), packet_length))
+        sweep = LoadSweepResult(config_name=config.name, packet_length=packet_length)
+        sweep.points = [fake_point(config.name, load, packet_length) for load in loads]
+        return sweep
+
+    monkeypatch.setattr(figures, "run_load_sweep", fake_sweep)
+    return calls
+
+
+class TestFigurePlumbing:
+    def test_figure5_sweeps_four_configs(self, capture):
+        result = figures.figure5(loads=[0.1, 0.5])
+        assert [c.config_name for c in result.curves] == ["VC8", "VC16", "FR6", "FR13"]
+        assert all(packet_length == 5 for _, _, packet_length in capture)
+
+    def test_figure6_uses_21_flit_packets(self, capture):
+        figures.figure6(loads=[0.1])
+        assert all(packet_length == 21 for _, _, packet_length in capture)
+
+    def test_figure7_sweeps_horizons(self, capture):
+        result = figures.figure7(loads=[0.1], horizons=(16, 64))
+        assert [c.config_name for c in result.curves] == ["FR6/s=16", "FR6/s=64"]
+        horizons = [config.scheduling_horizon for config, _, _ in capture]
+        assert horizons == [16, 64]
+
+    def test_figure8_sweeps_leads_on_unit_links(self, capture):
+        result = figures.figure8(loads=[0.1], leads=(1, 4))
+        assert [c.config_name for c in result.curves] == ["FR6/lead=1", "FR6/lead=4"]
+        for config, _, _ in capture:
+            assert config.data_link_delay == 1
+        assert [c.injection_lead for c, _, _ in capture] == [1, 4]
+
+    def test_figure9_compares_fr_lead1_with_unit_vc(self, capture):
+        result = figures.figure9(loads=[0.1])
+        names = [c.config_name for c in result.curves]
+        assert names == ["FR6/lead=1", "VC8", "VC16"]
+        vc_configs = [c for c, _, _ in capture if c.name.startswith("VC")]
+        assert all(c.data_link_delay == 1 for c in vc_configs)
+
+    def test_figure_result_lookup_and_format(self, capture):
+        result = figures.figure5(loads=[0.1])
+        assert result.curve("FR6").config_name == "FR6"
+        with pytest.raises(KeyError):
+            result.curve("nope")
+        text = result.format()
+        assert "Figure 5" in text and "FR13" in text

@@ -1,0 +1,54 @@
+"""Tests for measurement presets."""
+
+import pytest
+
+from repro.harness.presets import PRESETS, MeasurementPreset, get_preset
+
+
+class TestPresets:
+    def test_three_fidelities_exist(self):
+        assert set(PRESETS) == {"quick", "standard", "paper"}
+
+    def test_paper_preset_matches_methodology(self):
+        paper = PRESETS["paper"]
+        assert paper.min_warmup >= 10_000  # "a minimum of 10,000 cycles"
+
+    def test_fidelity_ordering(self):
+        quick, standard, paper = (
+            PRESETS["quick"],
+            PRESETS["standard"],
+            PRESETS["paper"],
+        )
+        assert quick.sample_cycles < standard.sample_cycles < paper.sample_cycles
+        assert quick.min_warmup < standard.min_warmup < paper.min_warmup
+
+    def test_get_preset_by_name(self):
+        assert get_preset("quick") is PRESETS["quick"]
+
+    def test_get_preset_passthrough(self):
+        custom = MeasurementPreset(
+            name="custom",
+            min_warmup=400,
+            warmup_window=100,
+            max_warmup=1_000,
+            sample_cycles=500,
+            drain_cycles=2_000,
+            throughput_cycles=500,
+        )
+        assert get_preset(custom) is custom
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            get_preset("turbo")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementPreset(
+                name="bad",
+                min_warmup=100,
+                warmup_window=100,
+                max_warmup=1_000,
+                sample_cycles=500,
+                drain_cycles=2_000,
+                throughput_cycles=500,
+            )

@@ -1,0 +1,38 @@
+"""CLI tests for the sweep/trace/utilization tool subcommands."""
+
+import pytest
+
+from repro.harness import runner
+
+
+class TestSweepCommand:
+    def test_sweep_prints_curve(self, capsys):
+        assert (
+            runner.main(
+                ["--preset", "quick", "sweep", "FR6", "--loads", "0.1,0.3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "FR6" in out
+        assert "0.10" in out and "0.30" in out
+
+
+class TestTraceCommand:
+    def test_trace_prints_timeline(self, capsys):
+        assert runner.main(["trace", "FR6", "--packet", "1", "--cycles", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "packet 1 timeline:" in out
+        assert "data_eject" in out
+
+    def test_trace_rejects_vc_configs(self):
+        with pytest.raises(SystemExit):
+            runner.main(["trace", "VC8"])
+
+
+class TestUtilizationCommand:
+    def test_utilization_prints_report(self, capsys):
+        assert runner.main(["utilization", "FR6", "0.4", "--cycles", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "data channel utilization" in out
+        assert "hottest channels" in out

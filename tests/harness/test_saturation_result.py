@@ -1,0 +1,15 @@
+"""Tests for the SaturationResult value object."""
+
+from repro.harness.saturation import SaturationResult
+
+
+class TestSaturationResult:
+    def test_saturation_is_max_of_knee_and_plateau(self):
+        result = SaturationResult("VC8", 5, knee=0.62, plateau=0.65)
+        assert result.saturation == 0.65
+        result = SaturationResult("VC8", 5, knee=0.70, plateau=0.66)
+        assert result.saturation == 0.70
+
+    def test_probes_default_empty(self):
+        result = SaturationResult("FR6", 5, knee=0.5, plateau=0.5)
+        assert result.probes == []

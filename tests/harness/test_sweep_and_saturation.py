@@ -1,0 +1,84 @@
+"""Tests for load sweeps and saturation search."""
+
+import pytest
+
+from repro.baselines.vc.config import VCConfig
+from repro.core.config import FRConfig
+from repro.harness.saturation import find_saturation, measure_throughput
+from repro.harness.sweep import run_load_sweep
+from repro.topology.mesh import Mesh2D
+
+
+@pytest.fixture
+def mesh4():
+    return Mesh2D(4, 4)
+
+
+class TestSweep:
+    def test_latency_monotone_with_load(self, mesh4):
+        sweep = run_load_sweep(
+            VCConfig(), [0.1, 0.4], seed=3, preset="quick", mesh=mesh4
+        )
+        latencies = sweep.latencies()
+        assert latencies[0] < latencies[1]
+
+    def test_rows_and_format(self, mesh4):
+        sweep = run_load_sweep(VCConfig(), [0.2], seed=3, preset="quick", mesh=mesh4)
+        rows = sweep.rows()
+        assert len(rows) == 1
+        offered, accepted, latency = rows[0]
+        assert offered == 0.2
+        text = sweep.format_table()
+        assert "VC8" in text
+        assert "0.20" in text
+
+    def test_latency_at_picks_closest(self, mesh4):
+        sweep = run_load_sweep(
+            VCConfig(), [0.1, 0.4], seed=3, preset="quick", mesh=mesh4
+        )
+        assert sweep.latency_at(0.45) == sweep.points[1].mean_latency
+
+    def test_stop_when_saturated(self, mesh4):
+        config = VCConfig(num_vcs=1, buffers_per_vc=2)
+        sweep = run_load_sweep(
+            config,
+            [0.2, 0.9, 0.95, 0.99],
+            seed=3,
+            preset="quick",
+            mesh=mesh4,
+            stop_when_saturated=True,
+        )
+        # The sweep should have stopped at the first saturated point.
+        assert len(sweep.points) < 4
+        assert sweep.points[-1].saturated
+
+
+class TestSaturation:
+    def test_measure_throughput_tracks_offered_below_saturation(self, mesh4):
+        accepted = measure_throughput(
+            FRConfig(), 0.3, seed=3, preset="quick", mesh=mesh4
+        )
+        assert accepted == pytest.approx(0.3, abs=0.05)
+
+    def test_find_saturation_brackets_the_knee(self, mesh4):
+        result = find_saturation(
+            VCConfig(num_vcs=1, buffers_per_vc=4),
+            seed=3,
+            preset="quick",
+            mesh=mesh4,
+            low=0.2,
+            resolution=0.05,
+        )
+        assert 0.2 <= result.knee < 1.0
+        assert result.plateau >= result.knee - 0.05
+        assert len(result.probes) >= 3
+
+    def test_unstable_lower_bound_rejected(self, mesh4):
+        with pytest.raises(ValueError, match="stable lower bound"):
+            find_saturation(
+                VCConfig(num_vcs=1, buffers_per_vc=2),
+                seed=3,
+                preset="quick",
+                mesh=mesh4,
+                low=0.99,
+            )

@@ -1,0 +1,78 @@
+"""Plumbing tests for the Table 3 generator (simulation stubbed out)."""
+
+import pytest
+
+from repro.harness import tables
+from repro.harness.experiment import ExperimentResult
+from repro.harness.saturation import SaturationResult
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    experiments = []
+    saturations = []
+
+    def fake_run(config, load, packet_length=5, seed=1, preset="standard", **kwargs):
+        experiments.append((config.name, load, packet_length))
+        return ExperimentResult(
+            config_name=config.name,
+            offered_load=load,
+            injection_rate=0.01,
+            packet_length=packet_length,
+            seed=seed,
+            accepted_load=load,
+            mean_latency=30.0 if load < 0.1 else 40.0,
+            latency_ci_halfwidth=0.2,
+            p95_latency=50.0,
+            packets_measured=100,
+            cycles_simulated=1_000,
+            warmup_cycles=500,
+            saturated=False,
+        )
+
+    def fake_saturation(config, packet_length=5, seed=1, preset="standard", **kwargs):
+        saturations.append((config.name, packet_length))
+        return SaturationResult(
+            config_name=config.name,
+            packet_length=packet_length,
+            knee=0.7,
+            plateau=0.72,
+            probes=[(0.3, 0.3), (0.7, 0.7)],
+        )
+
+    monkeypatch.setattr(tables, "run_experiment", fake_run)
+    monkeypatch.setattr(tables, "find_saturation", fake_saturation)
+    return experiments, saturations
+
+
+class TestTable3Plumbing:
+    def test_all_rows_present(self, stubbed):
+        result = tables.table3(packet_lengths=(5, 21), include_leading=True)
+        fast_rows = [r for r in result.rows if r.regime == "fast"]
+        leading_rows = [r for r in result.rows if r.regime == "leading"]
+        assert len(fast_rows) == 10  # 5 configs x 2 packet lengths
+        assert len(leading_rows) == 5  # 5 configs, 5-flit only
+
+    def test_row_lookup(self, stubbed):
+        result = tables.table3(packet_lengths=(5,), include_leading=False)
+        row = result.find("fast", "FR6", 5)
+        assert row.base_latency == 30.0
+        assert row.latency_at_50pct == 40.0
+        assert row.saturation == pytest.approx(0.72)
+        with pytest.raises(KeyError):
+            result.find("fast", "FR6", 21)
+
+    def test_each_row_runs_base_mid_and_saturation(self, stubbed):
+        experiments, saturations = stubbed
+        tables.table3(packet_lengths=(5,), include_leading=False)
+        # 5 configs x (base + 50%) experiments, and one saturation each.
+        assert len(experiments) == 10
+        assert len(saturations) == 5
+        loads = {load for _, load, _ in experiments}
+        assert loads == {0.05, 0.50}
+
+    def test_format_contains_all_configs(self, stubbed):
+        result = tables.table3(packet_lengths=(5,), include_leading=False)
+        text = result.format()
+        for name in ("FR6", "FR13", "VC8", "VC16", "VC32"):
+            assert name in text

@@ -1,0 +1,74 @@
+"""Tests for the table generators and the CLI front end."""
+
+import pytest
+
+from repro.harness.runner import main
+from repro.harness.tables import (
+    fast_control_configs,
+    format_table1,
+    format_table2,
+    leading_control_configs,
+    table1,
+    table2,
+)
+
+
+class TestTable1:
+    def test_totals_match_paper(self):
+        rows = table1()
+        assert rows["VC8"]["bits_per_node"] == 10452
+        assert rows["VC16"]["bits_per_node"] == 21040
+        assert rows["VC32"]["bits_per_node"] == 42352
+        assert rows["FR6"]["bits_per_node"] == 10762
+
+    def test_format(self):
+        text = format_table1(table1())
+        assert "Table 1" in text
+        assert "10452" in text
+        assert "FR6" in text
+
+
+class TestTable2:
+    def test_fr_minus_vc_is_five_bits(self):
+        rows = table2(packet_length=5)
+        assert rows["FR6"]["bits_per_data_flit"] - rows["VC8"][
+            "bits_per_data_flit"
+        ] == pytest.approx(5.0)
+
+    def test_format(self):
+        text = format_table2(table2())
+        assert "Table 2" in text
+        assert "arrival_times" in text
+
+
+class TestConfigLists:
+    def test_fast_control_has_five_configs(self):
+        names = [c.name for c in fast_control_configs()]
+        assert names == ["FR6", "FR13", "VC8", "VC16", "VC32"]
+
+    def test_leading_control_uses_unit_links(self):
+        for config in leading_control_configs(lead=1):
+            assert config.data_link_delay == 1
+
+
+class TestRunnerCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "10452" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_point(self, capsys):
+        assert main(["--preset", "quick", "point", "VC8", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "VC8" in out and "load=0.20" in out
+
+    def test_unknown_config(self):
+        with pytest.raises(SystemExit):
+            main(["point", "XYZ", "0.2"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,90 @@
+"""Calibration against the paper's headline numbers (Sections 4.1-4.4).
+
+These run on the paper's 8x8 mesh with the quick preset, so tolerances are
+generous; EXPERIMENTS.md records tighter standard-preset measurements.
+"""
+
+import pytest
+
+from repro.baselines.vc.config import VC8, VC16
+from repro.core.config import FR6
+from repro.harness.experiment import run_experiment
+from repro.harness.saturation import measure_throughput
+
+
+class TestFastControlBaseLatency:
+    def test_vc_base_latency_near_32(self):
+        result = run_experiment(VC8, 0.05, seed=2, preset="quick")
+        assert result.mean_latency == pytest.approx(32, abs=4)
+
+    def test_fr_base_latency_near_27(self):
+        result = run_experiment(FR6, 0.05, seed=2, preset="quick")
+        assert result.mean_latency == pytest.approx(27, abs=3)
+
+    def test_fr_cuts_latency_vs_vc(self):
+        """The paper's 15.6% base-latency saving: FR removes routing and
+        arbitration from the data path."""
+        fr = run_experiment(FR6, 0.05, seed=2, preset="quick").mean_latency
+        vc = run_experiment(VC8, 0.05, seed=2, preset="quick").mean_latency
+        saving = (vc - fr) / vc
+        assert 0.08 < saving < 0.25
+
+
+class TestLatencyAt50Percent:
+    def test_table3_fast_control_row(self):
+        """Paper: FR6 33 cycles, VC8 39 cycles at 50% capacity."""
+        fr = run_experiment(FR6, 0.50, seed=2, preset="quick").mean_latency
+        vc = run_experiment(VC8, 0.50, seed=2, preset="quick").mean_latency
+        assert fr == pytest.approx(33, abs=4)
+        assert vc == pytest.approx(39, abs=5)
+        assert fr < vc
+
+
+class TestSaturationThroughput:
+    def test_vc8_saturates_before_fr6(self):
+        """Paper: VC8 63%, FR6 77% -- at 72% offered, FR6 still delivers in
+        full while VC8 has fallen off."""
+        fr_accepted = measure_throughput(FR6, 0.72, seed=2, preset="quick")
+        vc_accepted = measure_throughput(VC8, 0.72, seed=2, preset="quick")
+        assert fr_accepted > 0.68
+        assert vc_accepted < 0.68
+        assert fr_accepted > vc_accepted
+
+    def test_fr6_approaches_vc16(self):
+        """Paper: FR6 (77%) approaches VC16 (80%) with 10 fewer buffers."""
+        fr6 = measure_throughput(FR6, 0.76, seed=2, preset="quick")
+        vc16 = measure_throughput(VC16, 0.76, seed=2, preset="quick")
+        assert fr6 == pytest.approx(vc16, abs=0.06)
+
+
+class TestLeadingControl:
+    def test_base_latencies_equal_with_one_cycle_lead(self):
+        """Paper Figure 9: FR with a 1-cycle lead has the same base latency
+        as VC on 1-cycle wires (about 15 cycles)."""
+        fr = run_experiment(
+            FR6.with_leading_control(1), 0.05, seed=2, preset="quick"
+        ).mean_latency
+        vc = run_experiment(
+            VC8.with_unit_links(), 0.05, seed=2, preset="quick"
+        ).mean_latency
+        assert fr == pytest.approx(15, abs=3)
+        assert vc == pytest.approx(15, abs=3)
+        assert abs(fr - vc) < 2.5
+
+    def test_fr_faster_under_load_with_leading_control(self):
+        """Paper: at 50% capacity FR6 is ~19 cycles vs VC8's ~21."""
+        fr = run_experiment(
+            FR6.with_leading_control(1), 0.50, seed=2, preset="quick"
+        ).mean_latency
+        vc = run_experiment(
+            VC8.with_unit_links(), 0.50, seed=2, preset="quick"
+        ).mean_latency
+        assert fr < vc
+
+    def test_data_flit_latency_drops_with_large_lead(self):
+        """Paper: with control leading by >= 10 cycles the base per-flit
+        data latency falls to ~6 cycles (pure wire time, zero router time)."""
+        result = run_experiment(
+            FR6.with_leading_control(10), 0.03, seed=2, preset="quick"
+        )
+        assert result.extras["mean_data_flit_latency"] == pytest.approx(6.3, abs=1.5)

@@ -1,0 +1,62 @@
+"""Regression of the bandwidth model against the paper's Table 2."""
+
+import pytest
+
+from repro.baselines.vc.config import VC8, VC16
+from repro.core.config import FR6, FR13, FRConfig
+from repro.overhead.bandwidth import (
+    fr_bandwidth,
+    fr_extra_bandwidth_fraction,
+    vc_bandwidth,
+)
+
+
+class TestVCBandwidth:
+    def test_formula(self):
+        overhead = vc_bandwidth(VC8, packet_length=5, destination_bits=6)
+        assert overhead.destination == pytest.approx(6 / 5)
+        assert overhead.vcid == 1  # log2 of 2 VCs
+        assert overhead.arrival_times == 0
+
+    def test_vcid_grows_with_vcs(self):
+        assert vc_bandwidth(VC16, 5).vcid == 2
+
+
+class TestFRBandwidth:
+    def test_formula_d1(self):
+        overhead = fr_bandwidth(FR6, packet_length=5, destination_bits=6)
+        assert overhead.destination == pytest.approx(6 / 5)
+        # 5 control flits for 5 data flits, 1-bit VCID each, over 5 flits.
+        assert overhead.vcid == pytest.approx(1.0)
+        assert overhead.arrival_times == 5  # log2 of the 32-cycle horizon
+
+    def test_five_extra_bits_vs_vc(self):
+        """The paper: FR incurs 5 more bits per flit than VC (the arrival
+        time stamp), about 2% of a 256-bit flit."""
+        fr = fr_bandwidth(FR6, 5)
+        vc = vc_bandwidth(VC8, 5)
+        assert fr.bits_per_data_flit - vc.bits_per_data_flit == pytest.approx(5.0)
+        extra = fr_extra_bandwidth_fraction(FR6, VC8, 5)
+        assert extra == pytest.approx(5 / 256)
+
+    def test_fr13_vs_vc16_also_five_bits(self):
+        extra = fr_extra_bandwidth_fraction(FR13, VC16, 5)
+        assert extra == pytest.approx(5 / 256)
+
+    def test_wide_control_amortises_vcid(self):
+        """With d=4 a 5-flit packet needs 2 control flits, not 5, so the
+        VCID overhead per data flit shrinks (Section 5's discussion)."""
+        narrow = fr_bandwidth(FRConfig(data_flits_per_control=1), 5)
+        wide = fr_bandwidth(FRConfig(data_flits_per_control=4), 5)
+        assert wide.vcid < narrow.vcid
+
+    def test_longer_packets_amortise_destination(self):
+        short = fr_bandwidth(FR6, 5)
+        long = fr_bandwidth(FR6, 21)
+        assert long.destination < short.destination
+
+    def test_fraction_of_flit(self):
+        overhead = fr_bandwidth(FR6, 5)
+        assert overhead.fraction_of_flit(256) == pytest.approx(
+            overhead.bits_per_data_flit / 256
+        )

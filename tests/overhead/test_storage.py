@@ -1,0 +1,90 @@
+"""Regression of the storage model against the paper's Table 1."""
+
+import pytest
+
+from repro.baselines.vc.config import VC8, VC16, VC32
+from repro.core.config import FR6, FR13
+from repro.overhead.storage import (
+    FRStorageModel,
+    PAPER_TABLE1,
+    VCStorageModel,
+    ceil_log2,
+)
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 1), (2, 1), (3, 2), (4, 2), (6, 3), (8, 3), (13, 4), (32, 5), (33, 6)],
+    )
+    def test_values(self, value, expected):
+        assert ceil_log2(value) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestVCColumns:
+    """Every VC cell of Table 1 must match exactly."""
+
+    @pytest.mark.parametrize(
+        "config,data,pointers,table,total,flits",
+        [
+            (VC8, 10360, 60, 32, 10452, 8.17),
+            (VC16, 20800, 160, 80, 21040, 16.44),
+            (VC32, 41760, 400, 192, 42352, 33.09),
+        ],
+    )
+    def test_cells(self, config, data, pointers, table, total, flits):
+        breakdown = VCStorageModel().breakdown(config)
+        assert breakdown.data_buffers == data
+        assert breakdown.queue_pointers == pointers
+        assert breakdown.output_reservation_table == table
+        assert breakdown.bits_per_node == total
+        assert breakdown.flits_per_input_channel == pytest.approx(flits, abs=0.01)
+
+
+class TestFRColumns:
+    def test_fr6_cells_exact(self):
+        breakdown = FRStorageModel().breakdown(FR6)
+        assert breakdown.data_buffers == 7680
+        assert breakdown.control_buffers == 240
+        assert breakdown.queue_pointers == 60
+        assert breakdown.output_reservation_table == 512
+        assert breakdown.input_reservation_table == 2270
+        assert breakdown.bits_per_node == 10762
+        assert breakdown.flits_per_input_channel == pytest.approx(8.40, abs=0.01)
+
+    def test_fr13_cells_follow_formula(self):
+        """All FR13 cells match the paper except the input reservation table,
+        whose printed value (1980) contradicts the paper's own general
+        formula; we follow the formula (2620 bits) -- see the module
+        docstring of repro.overhead.storage."""
+        breakdown = FRStorageModel().breakdown(FR13)
+        assert breakdown.data_buffers == 16640
+        assert breakdown.control_buffers == 540
+        assert breakdown.queue_pointers == 160
+        assert breakdown.output_reservation_table == 640
+        assert breakdown.input_reservation_table == 2620
+        assert breakdown.bits_per_node == 20600
+
+    def test_paper_reference_values_recorded(self):
+        assert PAPER_TABLE1["FR13"]["bits_per_node"] == 19960
+
+
+class TestStoragePairing:
+    def test_fr6_matches_vc8_storage(self):
+        """The experimental pairing: FR6 within ~3% of VC8's storage."""
+        vc8 = VCStorageModel().breakdown(VC8).bits_per_node
+        fr6 = FRStorageModel().breakdown(FR6).bits_per_node
+        assert abs(fr6 - vc8) / vc8 < 0.035
+
+    def test_fr13_matches_vc16_storage(self):
+        vc16 = VCStorageModel().breakdown(VC16).bits_per_node
+        fr13 = FRStorageModel().breakdown(FR13).bits_per_node
+        assert abs(fr13 - vc16) / vc16 < 0.05
+
+    def test_fr_data_buffers_are_pure_payload(self):
+        breakdown = FRStorageModel(flit_bits=256).breakdown(FR6)
+        assert breakdown.data_buffers == 256 * 6 * 5

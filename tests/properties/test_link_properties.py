@@ -1,0 +1,59 @@
+"""Property-based tests of the pipelined link."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.link import Link
+
+
+@st.composite
+def send_schedules(draw):
+    delay = draw(st.integers(min_value=1, max_value=6))
+    width = draw(st.integers(min_value=1, max_value=3))
+    sends = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2),  # items sent per cycle
+            min_size=1,
+            max_size=50,
+        )
+    )
+    return delay, width, [min(count, width) for count in sends]
+
+
+class TestLinkProperties:
+    @given(send_schedules())
+    @settings(max_examples=200, deadline=None)
+    def test_everything_arrives_exactly_once_after_delay(self, schedule):
+        delay, width, sends = schedule
+        link = Link(delay, width=width)
+        sent: list[tuple[int, int]] = []  # (id, send_cycle)
+        received: list[tuple[int, int]] = []  # (id, receive_cycle)
+        next_id = 0
+        horizon = len(sends) + delay + 1
+        for cycle in range(horizon):
+            arrivals = link.receive(cycle)
+            received.extend((item, cycle) for item in arrivals)
+            if cycle < len(sends):
+                for _ in range(sends[cycle]):
+                    link.send(next_id, cycle)
+                    sent.append((next_id, cycle))
+                    next_id += 1
+        # Every item arrives exactly once, exactly `delay` after its send.
+        assert sorted(i for i, _ in received) == sorted(i for i, _ in sent)
+        send_cycle = dict(sent)
+        for item, receive_cycle in received:
+            assert receive_cycle == send_cycle[item] + delay
+
+    @given(send_schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_order_preserved(self, schedule):
+        delay, width, sends = schedule
+        link = Link(delay, width=width)
+        received = []
+        next_id = 0
+        for cycle in range(len(sends) + delay + 1):
+            received.extend(link.receive(cycle))
+            if cycle < len(sends):
+                for _ in range(sends[cycle]):
+                    link.send(next_id, cycle)
+                    next_id += 1
+        assert received == sorted(received)

@@ -1,0 +1,68 @@
+"""Property-based tests of the mesh topology and XY routing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.mesh import Mesh2D, opposite_port
+from repro.topology.routing import DimensionOrderRouting, route_path
+
+
+@st.composite
+def meshes(draw):
+    width = draw(st.integers(min_value=2, max_value=9))
+    height = draw(st.integers(min_value=2, max_value=9))
+    return Mesh2D(width, height)
+
+
+@st.composite
+def mesh_and_pair(draw):
+    mesh = draw(meshes())
+    src = draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    dst = draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    return mesh, src, dst
+
+
+class TestMeshProperties:
+    @given(mesh_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_hop_distance_symmetric_and_triangle(self, data):
+        mesh, a, b = data
+        assert mesh.hop_distance(a, b) == mesh.hop_distance(b, a)
+        assert mesh.hop_distance(a, b) <= mesh.hop_distance(a, 0) + mesh.hop_distance(0, b)
+
+    @given(meshes())
+    @settings(max_examples=50, deadline=None)
+    def test_neighbor_symmetry_everywhere(self, mesh):
+        for node in mesh.nodes():
+            for port in mesh.mesh_ports(node):
+                neighbor = mesh.neighbor(node, port)
+                assert mesh.neighbor(neighbor, opposite_port(port)) == node
+
+    @given(meshes())
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_positive_and_bounded(self, mesh):
+        capacity = mesh.capacity_flits_per_node()
+        assert 0 < capacity <= 2.0
+
+    @given(mesh_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_routing_reaches_destination_in_exact_hops(self, data):
+        mesh, src, dst = data
+        if src == dst:
+            return
+        routing = DimensionOrderRouting(mesh)
+        path = route_path(routing, mesh, src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == mesh.hop_distance(src, dst)
+
+    @given(mesh_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_routing_never_reverses_a_dimension(self, data):
+        mesh, src, dst = data
+        if src == dst:
+            return
+        routing = DimensionOrderRouting(mesh)
+        path = route_path(routing, mesh, src, dst)
+        xs = [mesh.coordinates(node)[0] for node in path]
+        ys = [mesh.coordinates(node)[1] for node in path]
+        assert xs == sorted(xs) or xs == sorted(xs, reverse=True)
+        assert ys == sorted(ys) or ys == sorted(ys, reverse=True)

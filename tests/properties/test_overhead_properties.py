@@ -1,0 +1,88 @@
+"""Property-based tests of the analytical overhead models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.vc.config import VCConfig
+from repro.core.config import FRConfig
+from repro.overhead.bandwidth import fr_bandwidth, vc_bandwidth
+from repro.overhead.storage import FRStorageModel, VCStorageModel
+
+
+@st.composite
+def vc_configs(draw):
+    return VCConfig(
+        num_vcs=draw(st.sampled_from([1, 2, 4, 8])),
+        buffers_per_vc=draw(st.integers(min_value=1, max_value=16)),
+    )
+
+
+@st.composite
+def fr_configs(draw):
+    return FRConfig(
+        data_buffers_per_input=draw(st.integers(min_value=2, max_value=40)),
+        control_vcs=draw(st.sampled_from([1, 2, 4])),
+        control_buffers_per_vc=draw(st.integers(min_value=1, max_value=8)),
+        data_flits_per_control=draw(st.integers(min_value=1, max_value=8)),
+        scheduling_horizon=draw(st.sampled_from([16, 32, 64, 128])),
+    )
+
+
+class TestStorageProperties:
+    @given(vc_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_vc_components_positive_and_buffer_dominated(self, config):
+        breakdown = VCStorageModel().breakdown(config)
+        assert breakdown.bits_per_node > 0
+        assert breakdown.data_buffers > breakdown.queue_pointers
+        # Flit-equivalents per input always exceed the raw buffer count
+        # (the overhead structures cost something).
+        assert breakdown.flits_per_input_channel > config.buffers_per_input
+
+    @given(fr_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_fr_data_buffers_pure_payload(self, config):
+        breakdown = FRStorageModel(flit_bits=256).breakdown(config)
+        assert breakdown.data_buffers == 256 * config.data_buffers_per_input * 5
+
+    @given(fr_configs(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_fr_storage_monotone_in_buffers(self, config, extra):
+        from dataclasses import replace
+
+        model = FRStorageModel()
+        bigger = replace(
+            config, data_buffers_per_input=config.data_buffers_per_input + extra
+        )
+        assert (
+            model.breakdown(bigger).bits_per_node
+            > model.breakdown(config).bits_per_node
+        )
+
+
+class TestBandwidthProperties:
+    @given(fr_configs(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_fr_overhead_positive_and_bounded(self, config, length):
+        overhead = fr_bandwidth(config, packet_length=length)
+        assert overhead.bits_per_data_flit > 0
+        # Destination amortises to nothing; VCID and time stamp stay small.
+        assert overhead.bits_per_data_flit < 32
+
+    @given(vc_configs(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_longer_packets_never_increase_overhead(self, config, length):
+        shorter = vc_bandwidth(config, packet_length=length)
+        longer = vc_bandwidth(config, packet_length=length + 5)
+        assert longer.bits_per_data_flit <= shorter.bits_per_data_flit
+
+    @given(fr_configs(), st.integers(min_value=2, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_wider_control_flits_never_increase_vcid_overhead(self, config, length):
+        from dataclasses import replace
+
+        narrow = fr_bandwidth(replace(config, data_flits_per_control=1), length)
+        wide = fr_bandwidth(
+            replace(config, data_flits_per_control=config.data_flits_per_control),
+            length,
+        )
+        assert wide.vcid <= narrow.vcid + 1e-9

@@ -1,0 +1,90 @@
+"""Property-based tests of traffic generation and warm-up detection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import DeterministicRng
+from repro.stats.warmup import WarmupDetector
+from repro.topology.mesh import Mesh2D
+from repro.traffic.injection import BernoulliInjection, PeriodicInjection
+from repro.traffic.patterns import UniformRandomTraffic
+
+
+class TestInjectionProperties:
+    @given(
+        rate=st.floats(min_value=0.01, max_value=1.0),
+        phase=st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_periodic_long_run_rate_is_exact(self, rate, phase):
+        process = PeriodicInjection(rate, phase=phase)
+        rng = DeterministicRng(0)
+        horizon = 5_000
+        fires = sum(process.should_inject(c, rng) for c in range(horizon))
+        # The accumulator never drifts: |fires - rate*horizon| < 1.
+        assert abs(fires - rate * horizon) < 1 + 1e-6
+
+    @given(rate=st.floats(min_value=0.05, max_value=0.95), seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_bernoulli_rate_within_tolerance(self, rate, seed):
+        process = BernoulliInjection(rate)
+        rng = DeterministicRng(seed)
+        horizon = 4_000
+        fires = sum(process.should_inject(c, rng) for c in range(horizon))
+        # 5-sigma band for a binomial.
+        sigma = (horizon * rate * (1 - rate)) ** 0.5
+        assert abs(fires - rate * horizon) < 5 * sigma + 1
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=0.5),
+        phase=st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_periodic_gaps_differ_by_at_most_one(self, rate, phase):
+        process = PeriodicInjection(rate, phase=phase)
+        rng = DeterministicRng(0)
+        fire_cycles = [c for c in range(3_000) if process.should_inject(c, rng)]
+        gaps = {b - a for a, b in zip(fire_cycles, fire_cycles[1:])}
+        assert len(gaps) <= 2
+        if len(gaps) == 2:
+            assert max(gaps) - min(gaps) == 1
+
+
+class TestUniformTrafficProperties:
+    @given(
+        width=st.integers(2, 6),
+        height=st.integers(2, 6),
+        source=st.integers(0, 35),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_destination_always_valid(self, width, height, source, seed):
+        mesh = Mesh2D(width, height)
+        source %= mesh.num_nodes
+        pattern = UniformRandomTraffic(mesh)
+        rng = DeterministicRng(seed)
+        for _ in range(30):
+            destination = pattern.destination(source, rng)
+            assert 0 <= destination < mesh.num_nodes
+            assert destination != source
+
+
+class TestWarmupProperties:
+    @given(
+        level=st.floats(min_value=0.0, max_value=50.0),
+        noise=st.floats(min_value=0.0, max_value=0.02),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stationary_signals_always_warm(self, level, noise, seed):
+        """Any stationary signal (small multiplicative noise) must be
+        declared warm at or shortly after min_cycles."""
+        detector = WarmupDetector(min_cycles=200, window=50)
+        rng = DeterministicRng(seed)
+        warm_at = None
+        for cycle in range(600):
+            value = level * (1 + noise * (rng.random() - 0.5))
+            if detector.record(value, cycle):
+                warm_at = cycle
+                break
+        assert warm_at is not None
+        assert warm_at <= 400

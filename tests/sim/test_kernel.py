@@ -1,0 +1,57 @@
+"""Tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class CountingNetwork:
+    def __init__(self):
+        self.cycles_seen = []
+
+    def step(self, cycle):
+        self.cycles_seen.append(cycle)
+
+
+class TestStepping:
+    def test_step_advances_clock(self):
+        sim = Simulator(CountingNetwork())
+        sim.step()
+        sim.step(3)
+        assert sim.cycle == 4
+
+    def test_network_sees_consecutive_cycles(self):
+        net = CountingNetwork()
+        sim = Simulator(net)
+        sim.step(5)
+        assert net.cycles_seen == [0, 1, 2, 3, 4]
+
+    def test_hard_ceiling(self):
+        sim = Simulator(CountingNetwork(), max_cycles=10)
+        with pytest.raises(SimulationError):
+            sim.step(100)
+
+
+class TestRunUntil:
+    def test_stops_when_condition_true(self):
+        net = CountingNetwork()
+        sim = Simulator(net)
+        end = sim.run_until(lambda: len(net.cycles_seen) >= 7)
+        assert end == 7
+        assert sim.cycle == 7
+
+    def test_immediate_condition_runs_zero_cycles(self):
+        sim = Simulator(CountingNetwork())
+        assert sim.run_until(lambda: True) == 0
+
+    def test_deadline_raises(self):
+        sim = Simulator(CountingNetwork())
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, deadline=50)
+
+    def test_check_every_granularity(self):
+        net = CountingNetwork()
+        sim = Simulator(net)
+        sim.run_until(lambda: len(net.cycles_seen) >= 5, check_every=4)
+        # Overshoot is bounded by the check granularity.
+        assert 5 <= sim.cycle <= 8

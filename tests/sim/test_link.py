@@ -1,0 +1,88 @@
+"""Tests for the pipelined link."""
+
+import pytest
+
+from repro.sim.link import Link, LinkOverflowError
+
+
+class TestConstruction:
+    def test_rejects_zero_delay(self):
+        with pytest.raises(ValueError):
+            Link(0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Link(1, width=0)
+
+
+class TestDelivery:
+    def test_single_item_arrives_after_delay(self):
+        link = Link(4)
+        link.send("flit", cycle=10)
+        for cycle in range(10, 14):
+            assert link.receive(cycle) == []
+        assert link.receive(14) == ["flit"]
+
+    def test_delay_one(self):
+        link = Link(1)
+        link.send("a", cycle=0)
+        assert link.receive(0) == []
+        assert link.receive(1) == ["a"]
+
+    def test_arrivals_are_consumed(self):
+        link = Link(1)
+        link.send("a", cycle=0)
+        assert link.receive(1) == ["a"]
+        assert link.receive(1) == []
+
+    def test_pipeline_full_occupancy(self):
+        """A delay-d link carries d items in flight, one launched per cycle."""
+        link = Link(3)
+        for cycle in range(10):
+            link.send(cycle, cycle)
+            received = link.receive(cycle)
+            if cycle >= 3:
+                assert received == [cycle - 3]
+            else:
+                assert received == []
+
+    def test_order_preserved_within_cycle(self):
+        link = Link(2, width=3)
+        link.send("x", 5)
+        link.send("y", 5)
+        link.send("z", 5)
+        assert link.receive(7) == ["x", "y", "z"]
+
+    def test_in_flight_count(self):
+        link = Link(4)
+        assert link.in_flight() == 0
+        link.send("a", 0)
+        link.send("b", 1)
+        assert link.in_flight() == 2
+        link.receive(4)
+        assert link.in_flight() == 1
+
+
+class TestWidth:
+    def test_overflow_raises(self):
+        link = Link(1, width=2)
+        link.send("a", 0)
+        link.send("b", 0)
+        with pytest.raises(LinkOverflowError):
+            link.send("c", 0)
+
+    def test_width_resets_each_cycle(self):
+        link = Link(1, width=1)
+        link.send("a", 0)
+        link.send("b", 1)  # fine: a new cycle
+        assert link.receive(1) == ["a"]
+        assert link.receive(2) == ["b"]
+
+    def test_capacity_remaining(self):
+        link = Link(1, width=2)
+        assert link.capacity_remaining(0) == 2
+        link.send("a", 0)
+        assert link.capacity_remaining(0) == 1
+        link.send("b", 0)
+        assert link.capacity_remaining(0) == 0
+        assert link.capacity_remaining(1) == 2

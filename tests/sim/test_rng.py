@@ -1,0 +1,85 @@
+"""Tests for the deterministic random source."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_spawn_is_deterministic(self):
+        a = DeterministicRng(7).spawn(3)
+        b = DeterministicRng(7).spawn(3)
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_spawn_children_independent(self):
+        parent = DeterministicRng(7)
+        a, b = parent.spawn(1), parent.spawn(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_seed_property(self):
+        assert DeterministicRng(99).seed == 99
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(0)
+        values = [rng.randint(3, 7) for _ in range(200)]
+        assert min(values) >= 3
+        assert max(values) <= 7
+        assert set(values) == {3, 4, 5, 6, 7}
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(0)
+        for _ in range(100):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(0)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+    def test_chance_rate(self):
+        rng = DeterministicRng(5)
+        hits = sum(rng.chance(0.3) for _ in range(10_000))
+        assert 2_700 < hits < 3_300
+
+    def test_choice_single(self):
+        rng = DeterministicRng(0)
+        assert rng.choice([42]) == 42
+
+    def test_choice_covers_options(self):
+        rng = DeterministicRng(0)
+        seen = {rng.choice("abc") for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_shuffled_is_permutation(self):
+        rng = DeterministicRng(0)
+        original = list(range(10))
+        shuffled = rng.shuffled(original)
+        assert sorted(shuffled) == original
+        assert original == list(range(10)), "input must not be mutated"
+
+    def test_shuffled_varies(self):
+        rng = DeterministicRng(0)
+        results = {tuple(rng.shuffled(range(6))) for _ in range(50)}
+        assert len(results) > 10
+
+    def test_repr_mentions_seed(self):
+        assert "123" in repr(DeterministicRng(123))

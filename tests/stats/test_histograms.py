@@ -1,0 +1,55 @@
+"""Tests for LatencyStats histogram and dispersion additions."""
+
+import pytest
+
+from repro.stats.collectors import LatencyStats
+
+
+def stats_with(values):
+    stats = LatencyStats()
+    for value in values:
+        stats.record(value)
+    return stats
+
+
+class TestStddev:
+    def test_known_value(self):
+        stats = stats_with([2, 4, 4, 4, 5, 5, 7, 9])
+        assert stats.stddev == pytest.approx(2.138, abs=0.01)
+
+    def test_constant_sample(self):
+        assert stats_with([5, 5, 5]).stddev == 0.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            _ = stats_with([1]).stddev
+
+
+class TestHistogram:
+    def test_bins_cover_range_with_gaps(self):
+        stats = stats_with([10, 11, 12, 30, 31, 55])
+        assert stats.histogram(10) == [(10, 3), (20, 0), (30, 2), (40, 0), (50, 1)]
+
+    def test_counts_sum_to_sample_size(self):
+        stats = stats_with(list(range(0, 97, 3)))
+        rows = stats.histogram(7)
+        assert sum(count for _, count in rows) == stats.count
+
+    def test_bin_width_one(self):
+        stats = stats_with([3, 3, 4])
+        assert stats.histogram(1) == [(3, 2), (4, 1)]
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            stats_with([1]).histogram(0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyStats().histogram()
+
+    def test_format_histogram_bars(self):
+        stats = stats_with([10] * 8 + [20] * 4)
+        text = stats.format_histogram(bin_width=10, bar_width=8)
+        lines = text.splitlines()
+        assert lines[0].endswith("#" * 8)
+        assert lines[1].endswith("#" * 4)

@@ -1,0 +1,80 @@
+"""Tests for channel utilization reporting."""
+
+import pytest
+
+from repro.baselines.vc.config import VCConfig
+from repro.baselines.vc.network import VCNetwork
+from repro.core.config import FRConfig
+from repro.core.network import FRNetwork
+from repro.sim.kernel import Simulator
+from repro.stats.utilization import (
+    ChannelUtilization,
+    measure_channel_utilization,
+    snapshot_channel_utilization,
+)
+from repro.topology.mesh import Mesh2D
+
+
+class TestChannelUtilization:
+    def test_summary_statistics(self):
+        report = ChannelUtilization(
+            cycles=100, channels={(0, 1): 0.5, (1, 3): 0.1, (2, 0): 0.9}
+        )
+        assert report.mean == pytest.approx(0.5)
+        assert report.peak == 0.9
+        assert report.hottest(1) == [((2, 0), 0.9)]
+
+    def test_empty_report_raises(self):
+        with pytest.raises(ValueError):
+            _ = ChannelUtilization(cycles=10).mean
+
+    def test_format(self):
+        report = ChannelUtilization(cycles=100, channels={(3, 1): 0.42})
+        text = report.format()
+        assert "0.420" in text and "east" in text
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("flavour", ["fr", "vc"])
+    def test_utilization_tracks_offered_load(self, mesh4, flavour):
+        if flavour == "fr":
+            network = FRNetwork(
+                FRConfig(data_buffers_per_input=6),
+                mesh=mesh4,
+                injection_rate=0.06,
+                seed=3,
+            )
+        else:
+            network = VCNetwork(
+                VCConfig(), mesh=mesh4, injection_rate=0.06, seed=3
+            )
+        simulator = Simulator(network)
+        simulator.step(400)  # warm
+        report = measure_channel_utilization(network, simulator, cycles=600)
+        assert 0.0 < report.mean < 1.0
+        assert report.peak <= 1.0
+        # Mesh edges exist for every connected port: 4x4 has 48 channels.
+        assert len(report.channels) == 48
+
+    def test_heavier_load_higher_utilization(self, mesh4):
+        reports = []
+        for rate in (0.02, 0.10):
+            network = FRNetwork(
+                FRConfig(data_buffers_per_input=6),
+                mesh=mesh4,
+                injection_rate=rate,
+                seed=3,
+            )
+            simulator = Simulator(network)
+            simulator.step(400)
+            reports.append(measure_channel_utilization(network, simulator, 600))
+        assert reports[1].mean > reports[0].mean
+
+    def test_snapshot_uses_lifetime_counters(self, mesh4):
+        network = FRNetwork(
+            FRConfig(data_buffers_per_input=6), mesh=mesh4, injection_rate=0.05, seed=3
+        )
+        simulator = Simulator(network)
+        simulator.step(500)
+        report = snapshot_channel_utilization(network, cycles_observed=500)
+        assert report.mean > 0

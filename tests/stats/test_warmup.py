@@ -1,0 +1,55 @@
+"""Tests for the warm-up detector."""
+
+import pytest
+
+from repro.stats.warmup import WarmupDetector
+
+
+def feed(detector, values, start_cycle=0):
+    for offset, value in enumerate(values):
+        if detector.record(value, start_cycle + offset):
+            return start_cycle + offset
+    return None
+
+
+class TestWarmupDetector:
+    def test_requires_min_cycles(self):
+        detector = WarmupDetector(min_cycles=200, window=50)
+        warm_at = feed(detector, [1.0] * 300)
+        assert warm_at is not None
+        assert warm_at >= 199
+
+    def test_stable_signal_warms_at_minimum(self):
+        detector = WarmupDetector(min_cycles=100, window=20)
+        warm_at = feed(detector, [5.0] * 150)
+        assert warm_at == 99
+
+    def test_growing_signal_never_warms(self):
+        """A queue growing 5% per window (an oversaturated network) should
+        not be declared warm."""
+        detector = WarmupDetector(min_cycles=100, window=50, tolerance=0.02)
+        values = [1.0 * (1.08 ** (i // 50)) for i in range(1_000)]
+        assert feed(detector, values) is None
+
+    def test_signal_that_stabilises_warms_late(self):
+        detector = WarmupDetector(min_cycles=100, window=50, tolerance=0.02)
+        ramp = [i / 100 for i in range(400)]
+        plateau = [4.0] * 300
+        warm_at = feed(detector, ramp + plateau)
+        assert warm_at is not None
+        assert warm_at >= 400
+
+    def test_empty_network_is_warm(self):
+        """All-zero queues trip the absolute floor, not a 0/0 division."""
+        detector = WarmupDetector(min_cycles=100, window=20)
+        assert feed(detector, [0.0] * 150) == 99
+
+    def test_min_cycles_must_cover_windows(self):
+        with pytest.raises(ValueError):
+            WarmupDetector(min_cycles=10, window=20)
+
+    def test_is_warm_latches(self):
+        detector = WarmupDetector(min_cycles=100, window=20)
+        feed(detector, [1.0] * 150)
+        assert detector.is_warm
+        assert detector.record(1e9, 1_000)  # stays warm afterwards

@@ -1,0 +1,118 @@
+"""Tests for the 2-D mesh topology."""
+
+import pytest
+
+from repro.topology.mesh import (
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    Mesh2D,
+    opposite_port,
+)
+
+
+class TestConstruction:
+    def test_rejects_degenerate_mesh(self):
+        with pytest.raises(ValueError):
+            Mesh2D(1, 8)
+
+    def test_node_count(self, mesh8):
+        assert mesh8.num_nodes == 64
+
+    def test_rectangular(self):
+        mesh = Mesh2D(4, 2)
+        assert mesh.num_nodes == 8
+
+
+class TestCoordinates:
+    def test_round_trip(self, mesh8):
+        for node in mesh8.nodes():
+            x, y = mesh8.coordinates(node)
+            assert mesh8.node_at(x, y) == node
+
+    def test_row_major_layout(self, mesh8):
+        assert mesh8.coordinates(0) == (0, 0)
+        assert mesh8.coordinates(7) == (7, 0)
+        assert mesh8.coordinates(8) == (0, 1)
+        assert mesh8.coordinates(63) == (7, 7)
+
+    def test_out_of_range_node(self, mesh8):
+        with pytest.raises(ValueError):
+            mesh8.coordinates(64)
+
+    def test_out_of_range_coordinate(self, mesh8):
+        with pytest.raises(ValueError):
+            mesh8.node_at(8, 0)
+
+
+class TestNeighbors:
+    def test_interior_node_has_four_neighbors(self, mesh8):
+        node = mesh8.node_at(3, 3)
+        assert mesh8.neighbor(node, NORTH) == mesh8.node_at(3, 2)
+        assert mesh8.neighbor(node, SOUTH) == mesh8.node_at(3, 4)
+        assert mesh8.neighbor(node, EAST) == mesh8.node_at(4, 3)
+        assert mesh8.neighbor(node, WEST) == mesh8.node_at(2, 3)
+
+    def test_corner_has_two_neighbors(self, mesh8):
+        assert mesh8.neighbor(0, NORTH) is None
+        assert mesh8.neighbor(0, WEST) is None
+        assert mesh8.neighbor(0, EAST) == 1
+        assert mesh8.neighbor(0, SOUTH) == 8
+        assert sorted(mesh8.mesh_ports(0)) == sorted([EAST, SOUTH])
+
+    def test_neighbor_symmetry(self, mesh4):
+        for node in mesh4.nodes():
+            for port in mesh4.mesh_ports(node):
+                neighbor = mesh4.neighbor(node, port)
+                assert mesh4.neighbor(neighbor, opposite_port(port)) == node
+
+    def test_invalid_port(self, mesh8):
+        with pytest.raises(ValueError):
+            mesh8.neighbor(0, 4)
+
+
+class TestOppositePort:
+    def test_all_pairs(self):
+        assert opposite_port(NORTH) == SOUTH
+        assert opposite_port(SOUTH) == NORTH
+        assert opposite_port(EAST) == WEST
+        assert opposite_port(WEST) == EAST
+
+
+class TestMetrics:
+    def test_hop_distance(self, mesh8):
+        assert mesh8.hop_distance(0, 0) == 0
+        assert mesh8.hop_distance(0, 63) == 14
+        assert mesh8.hop_distance(mesh8.node_at(2, 3), mesh8.node_at(5, 1)) == 5
+
+    def test_mean_hop_distance_8x8(self, mesh8):
+        """Exact mean for uniform dest != src traffic on 8x8: 5.25 * 64/63."""
+        expected = (2 * 63 / 24) * 64 / 63
+        assert mesh8.mean_hop_distance() == pytest.approx(expected)
+
+    def test_mean_hop_distance_brute_force(self, mesh4):
+        total = 0
+        pairs = 0
+        for src in mesh4.nodes():
+            for dst in mesh4.nodes():
+                if src != dst:
+                    total += mesh4.hop_distance(src, dst)
+                    pairs += 1
+        assert mesh4.mean_hop_distance() == pytest.approx(total / pairs)
+
+    def test_bisection_channels(self, mesh8):
+        assert mesh8.bisection_channels() == 8
+
+    def test_capacity_8x8(self, mesh8):
+        """Roughly 4/k = 0.5 flits/node/cycle, with the dest != src correction."""
+        assert mesh8.capacity_flits_per_node() == pytest.approx(0.4921875)
+
+    def test_capacity_brute_force(self, mesh4):
+        """Check the capacity formula against a direct pair count."""
+        n = mesh4.num_nodes
+        near = 2 * 4  # left half of a 4x4
+        crossing = 2 * near * (n - near)
+        p_cross = crossing / (n * (n - 1))
+        per_channel = (n * p_cross / 2) / mesh4.bisection_channels()
+        assert mesh4.capacity_flits_per_node() == pytest.approx(1 / per_channel)

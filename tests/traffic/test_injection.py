@@ -1,0 +1,75 @@
+"""Tests for the injection processes."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+from repro.traffic.injection import (
+    BernoulliInjection,
+    PeriodicInjection,
+    make_injection_process,
+)
+
+
+class TestPeriodic:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicInjection(0.0)
+        with pytest.raises(ValueError):
+            PeriodicInjection(1.5)
+        with pytest.raises(ValueError):
+            PeriodicInjection(0.5, phase=1.0)
+
+    def test_exact_long_run_rate(self):
+        process = PeriodicInjection(0.3)
+        rng = DeterministicRng(0)
+        fires = sum(process.should_inject(c, rng) for c in range(10_000))
+        assert fires == pytest.approx(3_000, abs=1)
+
+    def test_constant_spacing_at_integral_period(self):
+        process = PeriodicInjection(0.25)
+        rng = DeterministicRng(0)
+        fire_cycles = [c for c in range(100) if process.should_inject(c, rng)]
+        gaps = {b - a for a, b in zip(fire_cycles, fire_cycles[1:])}
+        assert gaps == {4}
+
+    def test_rate_one_fires_every_cycle(self):
+        process = PeriodicInjection(1.0)
+        rng = DeterministicRng(0)
+        assert all(process.should_inject(c, rng) for c in range(20))
+
+    def test_phase_shifts_first_firing(self):
+        rng = DeterministicRng(0)
+        early = PeriodicInjection(0.1, phase=0.95)
+        late = PeriodicInjection(0.1, phase=0.0)
+        early_first = next(c for c in range(100) if early.should_inject(c, rng))
+        late_first = next(c for c in range(100) if late.should_inject(c, rng))
+        assert early_first < late_first
+
+
+class TestBernoulli:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection(0.0)
+
+    def test_long_run_rate(self):
+        process = BernoulliInjection(0.2)
+        rng = DeterministicRng(7)
+        fires = sum(process.should_inject(c, rng) for c in range(20_000))
+        assert fires == pytest.approx(4_000, rel=0.1)
+
+
+class TestFactory:
+    def test_periodic_with_random_phase(self):
+        a = make_injection_process("periodic", 0.1, DeterministicRng(1))
+        b = make_injection_process("periodic", 0.1, DeterministicRng(2))
+        rng = DeterministicRng(0)
+        first_a = next(c for c in range(100) if a.should_inject(c, rng))
+        first_b = next(c for c in range(100) if b.should_inject(c, rng))
+        assert first_a != first_b  # decorrelated phases
+
+    def test_bernoulli(self):
+        assert isinstance(make_injection_process("bernoulli", 0.5), BernoulliInjection)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_injection_process("poisson", 0.5)

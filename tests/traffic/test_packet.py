@@ -1,0 +1,59 @@
+"""Tests for the packet record."""
+
+import pytest
+
+from repro.traffic.packet import Packet
+
+
+def make_packet(**overrides):
+    defaults = dict(
+        packet_id=1, source=0, destination=5, length=5, creation_cycle=10
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestConstruction:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            make_packet(length=0)
+
+    def test_rejects_self_destination(self):
+        with pytest.raises(ValueError):
+            make_packet(destination=0)
+
+    def test_starts_undelivered(self):
+        packet = make_packet()
+        assert not packet.delivered
+        assert packet.flits_delivered == 0
+
+
+class TestDelivery:
+    def test_complete_after_length_flits(self):
+        packet = make_packet(length=3)
+        assert not packet.record_flit_delivery(20)
+        assert not packet.record_flit_delivery(21)
+        assert packet.record_flit_delivery(25)
+        assert packet.delivered
+        assert packet.delivery_cycle == 25
+
+    def test_latency_spans_creation_to_last_flit(self):
+        packet = make_packet(length=2, creation_cycle=100)
+        packet.record_flit_delivery(120)
+        packet.record_flit_delivery(130)
+        assert packet.latency == 30
+
+    def test_latency_before_delivery_raises(self):
+        with pytest.raises(ValueError):
+            _ = make_packet().latency
+
+    def test_overdelivery_raises(self):
+        packet = make_packet(length=1)
+        packet.record_flit_delivery(11)
+        with pytest.raises(ValueError):
+            packet.record_flit_delivery(12)
+
+    def test_single_flit_packet(self):
+        packet = make_packet(length=1, creation_cycle=0)
+        assert packet.record_flit_delivery(4)
+        assert packet.latency == 4

@@ -1,0 +1,127 @@
+"""Tests for the traffic patterns."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+from repro.topology.mesh import Mesh2D
+from repro.traffic.patterns import (
+    BitComplementTraffic,
+    BitReverseTraffic,
+    HotspotTraffic,
+    NeighborTraffic,
+    ShuffleTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    make_traffic_pattern,
+)
+
+
+class TestUniform:
+    def test_never_self(self, mesh8):
+        pattern = UniformRandomTraffic(mesh8)
+        rng = DeterministicRng(0)
+        for source in [0, 13, 63]:
+            for _ in range(300):
+                assert pattern.destination(source, rng) != source
+
+    def test_covers_all_destinations(self, mesh4):
+        pattern = UniformRandomTraffic(mesh4)
+        rng = DeterministicRng(0)
+        seen = {pattern.destination(5, rng) for _ in range(2000)}
+        assert seen == set(range(16)) - {5}
+
+    def test_roughly_uniform(self, mesh4):
+        pattern = UniformRandomTraffic(mesh4)
+        rng = DeterministicRng(1)
+        counts = [0] * 16
+        draws = 15_000
+        for _ in range(draws):
+            counts[pattern.destination(0, rng)] += 1
+        for node in range(1, 16):
+            assert counts[node] == pytest.approx(draws / 15, rel=0.25)
+
+
+class TestPermutations:
+    def test_transpose(self, mesh8):
+        pattern = TransposeTraffic(mesh8)
+        rng = DeterministicRng(0)
+        src = mesh8.node_at(2, 5)
+        assert pattern.destination(src, rng) == mesh8.node_at(5, 2)
+
+    def test_transpose_diagonal_is_silent(self, mesh8):
+        pattern = TransposeTraffic(mesh8)
+        rng = DeterministicRng(0)
+        assert pattern.destination(mesh8.node_at(3, 3), rng) is None
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            TransposeTraffic(Mesh2D(4, 2))
+
+    def test_bit_complement(self, mesh8):
+        pattern = BitComplementTraffic(mesh8)
+        rng = DeterministicRng(0)
+        assert pattern.destination(0, rng) == 63
+        assert pattern.destination(mesh8.node_at(2, 1), rng) == mesh8.node_at(5, 6)
+
+    def test_bit_reverse(self, mesh8):
+        pattern = BitReverseTraffic(mesh8)
+        rng = DeterministicRng(0)
+        # 64 nodes -> 6 bits; 1 = 000001 -> 100000 = 32.
+        assert pattern.destination(1, rng) == 32
+        assert pattern.destination(0, rng) is None
+
+    def test_bit_reverse_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitReverseTraffic(Mesh2D(3, 4))
+
+    def test_shuffle(self, mesh8):
+        pattern = ShuffleTraffic(mesh8)
+        rng = DeterministicRng(0)
+        # 6-bit rotate left: 33 = 100001 -> 000011 = 3.
+        assert pattern.destination(33, rng) == 3
+
+    def test_neighbor_wraps(self, mesh8):
+        pattern = NeighborTraffic(mesh8)
+        rng = DeterministicRng(0)
+        assert pattern.destination(mesh8.node_at(7, 2), rng) == mesh8.node_at(0, 2)
+
+    def test_active_sources_excludes_self_mapped(self, mesh8):
+        pattern = TransposeTraffic(mesh8)
+        active = pattern.active_sources()
+        assert len(active) == 64 - 8  # the diagonal is silent
+
+
+class TestHotspot:
+    def test_hotspot_bias(self, mesh8):
+        hotspot = 27
+        pattern = HotspotTraffic(mesh8, hotspots=[hotspot], hotspot_fraction=0.5)
+        rng = DeterministicRng(0)
+        draws = 4000
+        hits = sum(pattern.destination(0, rng) == hotspot for _ in range(draws))
+        # ~50% direct + ~0.8% from the uniform remainder.
+        assert hits / draws == pytest.approx(0.5, abs=0.05)
+
+    def test_requires_hotspots(self, mesh8):
+        with pytest.raises(ValueError):
+            HotspotTraffic(mesh8, hotspots=[])
+
+    def test_fraction_bounds(self, mesh8):
+        with pytest.raises(ValueError):
+            HotspotTraffic(mesh8, hotspots=[1], hotspot_fraction=1.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["uniform", "transpose", "bit_complement", "bit_reverse", "shuffle", "neighbor"]
+    )
+    def test_known_names(self, mesh8, name):
+        pattern = make_traffic_pattern(name, mesh8)
+        assert pattern.mesh is mesh8
+
+    def test_hotspot_default_center(self, mesh8):
+        pattern = make_traffic_pattern("hotspot", mesh8)
+        assert pattern.hotspots == [mesh8.node_at(4, 4)]
+
+    def test_unknown_name(self, mesh8):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            make_traffic_pattern("nonsense", mesh8)

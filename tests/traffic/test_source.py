@@ -1,0 +1,64 @@
+"""Tests for the per-node packet source."""
+
+import itertools
+
+from repro.sim.rng import DeterministicRng
+from repro.topology.mesh import Mesh2D
+from repro.traffic.injection import PeriodicInjection
+from repro.traffic.patterns import UniformRandomTraffic
+from repro.traffic.source import PacketSource
+
+
+def make_source(rate=0.5, node=3, mesh=None):
+    mesh = mesh or Mesh2D(4, 4)
+    counter = itertools.count(1)
+    return PacketSource(
+        node=node,
+        pattern=UniformRandomTraffic(mesh),
+        process=PeriodicInjection(rate),
+        packet_length=5,
+        rng=DeterministicRng(9),
+        next_packet_id=lambda: next(counter),
+    )
+
+
+class TestCreation:
+    def test_packets_match_process_rate(self):
+        source = make_source(rate=0.25)
+        created = [source.maybe_create(c) for c in range(400)]
+        packets = [p for p in created if p is not None]
+        assert len(packets) == 100
+        assert source.packets_created == 100
+
+    def test_packet_fields(self):
+        source = make_source()
+        packet = next(
+            p for c in range(10) if (p := source.maybe_create(c)) is not None
+        )
+        assert packet.source == 3
+        assert packet.destination != 3
+        assert packet.length == 5
+
+    def test_packet_ids_unique(self):
+        source = make_source(rate=1.0)
+        ids = [source.maybe_create(c).packet_id for c in range(50)]
+        assert len(set(ids)) == 50
+
+    def test_disabled_source_is_silent(self):
+        source = make_source(rate=1.0)
+        source.enabled = False
+        assert all(source.maybe_create(c) is None for c in range(20))
+
+
+class TestMeasureWindow:
+    def test_tags_only_window_packets(self):
+        source = make_source(rate=1.0)
+        source.measure_window = (10, 20)
+        packets = [source.maybe_create(c) for c in range(30)]
+        for packet in packets:
+            expected = 10 <= packet.creation_cycle < 20
+            assert packet.measured == expected
+
+    def test_no_window_means_unmeasured(self):
+        source = make_source(rate=1.0)
+        assert not source.maybe_create(0).measured
