@@ -15,6 +15,8 @@ phase without any event queue.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.baselines.vc.config import VCConfig
 from repro.baselines.vc.flits import VCFlit
 from repro.baselines.vc.interface import VCNodeInterface
@@ -78,12 +80,12 @@ class VCNetwork(NetworkModel):
             router = self.routers[node]
             for port in self.mesh.mesh_ports(node):
                 neighbor = self.mesh.neighbor(node, port)
-                data = Link(self.config.data_link_delay)
-                credit = Link(self.config.credit_link_delay)
+                data: Link[tuple[int, VCFlit]] = Link(self.config.data_link_delay)
+                credit: Link[int] = Link(self.config.credit_link_delay)
                 router.connect_output(port, data, credit)
                 self.routers[neighbor].connect_input(opposite_port(port), data, credit)
 
-    def _make_eject(self, node: int):
+    def _make_eject(self, node: int) -> Callable[[VCFlit, int], None]:
         def eject(flit: VCFlit, cycle: int) -> None:
             if flit.packet.destination != node:
                 raise RuntimeError(

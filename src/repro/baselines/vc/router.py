@@ -53,10 +53,10 @@ class VCRouter:
         self.in_active = [[False] * v for _ in range(NUM_PORTS)]
         self.pool_occupancy = [0] * NUM_PORTS
         # Output side: the upstream view of each downstream input.
-        self.out_data_links: list[Optional[Link]] = [None] * NUM_PORTS
-        self.out_credit_links: list[Optional[Link]] = [None] * NUM_PORTS  # to upstream
-        self.in_credit_links: list[Optional[Link]] = [None] * NUM_PORTS  # from downstream
-        self.in_data_links: list[Optional[Link]] = [None] * NUM_PORTS
+        self.out_data_links: list[Optional[Link[tuple[int, VCFlit]]]] = [None] * NUM_PORTS
+        self.out_credit_links: list[Optional[Link[int]]] = [None] * NUM_PORTS  # to upstream
+        self.in_credit_links: list[Optional[Link[int]]] = [None] * NUM_PORTS  # from downstream
+        self.in_data_links: list[Optional[Link[tuple[int, VCFlit]]]] = [None] * NUM_PORTS
         self.out_credits = [[config.buffers_per_vc] * v for _ in range(NUM_PORTS)]
         # Shared-pool mode (Tamir-Frazier): each VC keeps one dedicated slot
         # so a blocked VC can never monopolise the pool (that would deadlock);
@@ -71,13 +71,17 @@ class VCRouter:
 
     # -- wiring (done once by the network) -----------------------------------
 
-    def connect_output(self, port: int, data_link: Link, credit_link: Link) -> None:
+    def connect_output(
+        self, port: int, data_link: Link[tuple[int, VCFlit]], credit_link: Link[int]
+    ) -> None:
         """Attach the outgoing data link and incoming credit link of ``port``."""
         self.out_data_links[port] = data_link
         self.in_credit_links[port] = credit_link
         self.connected_outputs.append(port)
 
-    def connect_input(self, port: int, data_link: Link, credit_link: Link) -> None:
+    def connect_input(
+        self, port: int, data_link: Link[tuple[int, VCFlit]], credit_link: Link[int]
+    ) -> None:
         """Attach the incoming data link and outgoing credit link of ``port``."""
         self.in_data_links[port] = data_link
         self.out_credit_links[port] = credit_link
@@ -120,7 +124,7 @@ class VCRouter:
 
     def _gather_candidates(self) -> list[tuple[int, int, int]]:
         pool_mode = self.config.buffer_sharing == "pool"
-        candidates = []
+        candidates: list[tuple[int, int, int]] = []
         for port in range(NUM_PORTS):
             queues = self.in_queues[port]
             active = self.in_active[port]

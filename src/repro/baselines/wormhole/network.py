@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.baselines.vc.config import VCConfig
 from repro.baselines.vc.network import VCNetwork
@@ -46,7 +47,7 @@ class WormholeNetwork(VCNetwork):
         self,
         config: WormholeConfig,
         mesh: Mesh2D | None = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         self.wormhole_config = config
         super().__init__(config.as_vc_config(), mesh=mesh, **kwargs)

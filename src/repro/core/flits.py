@@ -141,7 +141,7 @@ def packet_to_control_flits(
 ) -> tuple[list[ControlFlit], list[DataFlit]]:
     """Expand a packet into its control flit sequence and data flits."""
     data_flits = [DataFlit(packet, i) for i in range(packet.length)]
-    control_flits = []
+    control_flits: list[ControlFlit] = []
     d = data_flits_per_control
     groups = [data_flits[i : i + d] for i in range(0, len(data_flits), d)]
     for group_index, group in enumerate(groups):

@@ -19,6 +19,8 @@ needed.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.config import FRConfig
 from repro.core.flits import ControlFlit, DataFlit
 from repro.core.interface import FRNodeInterface
@@ -96,10 +98,12 @@ class FRNetwork(NetworkModel):
             router = self.routers[node]
             for port in self.mesh.mesh_ports(node):
                 neighbor = self.mesh.neighbor(node, port)
-                data = Link(cfg.data_link_delay)
-                ctrl = Link(cfg.control_link_delay, width=cfg.control_flits_per_cycle)
-                adv_credit = Link(cfg.credit_link_delay, width=adv_credit_width)
-                ctrl_credit = Link(cfg.credit_link_delay, width=ctrl_credit_width)
+                data: Link[DataFlit] = Link(cfg.data_link_delay)
+                ctrl: Link[tuple[int, ControlFlit]] = Link(
+                    cfg.control_link_delay, width=cfg.control_flits_per_cycle
+                )
+                adv_credit: Link[int] = Link(cfg.credit_link_delay, width=adv_credit_width)
+                ctrl_credit: Link[int] = Link(cfg.credit_link_delay, width=ctrl_credit_width)
                 router.connect_output(port, data, ctrl, adv_credit, ctrl_credit)
                 self.routers[neighbor].connect_input(
                     opposite_port(port), data, ctrl, adv_credit, ctrl_credit
@@ -107,7 +111,7 @@ class FRNetwork(NetworkModel):
 
     # -- delivery hooks -------------------------------------------------------------
 
-    def _make_data_eject(self, node: int):
+    def _make_data_eject(self, node: int) -> Callable[[DataFlit, int], None]:
         def eject(flit: DataFlit, cycle: int) -> None:
             if flit.packet.destination != node:
                 raise RuntimeError(

@@ -91,14 +91,14 @@ class FRRouter:
             infinite_buffers=True,
         )
         # Links, wired by the network.
-        self.ctrl_out_links: list[Optional[Link]] = [None] * NUM_PORTS
-        self.ctrl_in_links: list[Optional[Link]] = [None] * NUM_PORTS
-        self.ctrl_credit_out: list[Optional[Link]] = [None] * NUM_PORTS
-        self.ctrl_credit_in: list[Optional[Link]] = [None] * NUM_PORTS
-        self.data_out_links: list[Optional[Link]] = [None] * NUM_PORTS
-        self.data_in_links: list[Optional[Link]] = [None] * NUM_PORTS
-        self.adv_credit_out: list[Optional[Link]] = [None] * NUM_PORTS
-        self.adv_credit_in: list[Optional[Link]] = [None] * NUM_PORTS
+        self.ctrl_out_links: list[Optional[Link[tuple[int, ControlFlit]]]] = [None] * NUM_PORTS
+        self.ctrl_in_links: list[Optional[Link[tuple[int, ControlFlit]]]] = [None] * NUM_PORTS
+        self.ctrl_credit_out: list[Optional[Link[int]]] = [None] * NUM_PORTS
+        self.ctrl_credit_in: list[Optional[Link[int]]] = [None] * NUM_PORTS
+        self.data_out_links: list[Optional[Link[DataFlit]]] = [None] * NUM_PORTS
+        self.data_in_links: list[Optional[Link[DataFlit]]] = [None] * NUM_PORTS
+        self.adv_credit_out: list[Optional[Link[int]]] = [None] * NUM_PORTS
+        self.adv_credit_in: list[Optional[Link[int]]] = [None] * NUM_PORTS
         self.connected_outputs: list[int] = []
         # NI callbacks (on-node wiring, no link delay), set by the network.
         self.ni_advance_credit: Optional[Callable[[int, int], None]] = None
@@ -117,10 +117,10 @@ class FRRouter:
     def connect_output(
         self,
         port: int,
-        data_link: Link,
-        ctrl_link: Link,
-        adv_credit_link: Link,
-        ctrl_credit_link: Link,
+        data_link: Link[DataFlit],
+        ctrl_link: Link[tuple[int, ControlFlit]],
+        adv_credit_link: Link[int],
+        ctrl_credit_link: Link[int],
     ) -> None:
         """Attach output-side links and build the output reservation table."""
         self.data_out_links[port] = data_link
@@ -137,10 +137,10 @@ class FRRouter:
     def connect_input(
         self,
         port: int,
-        data_link: Link,
-        ctrl_link: Link,
-        adv_credit_link: Link,
-        ctrl_credit_link: Link,
+        data_link: Link[DataFlit],
+        ctrl_link: Link[tuple[int, ControlFlit]],
+        adv_credit_link: Link[int],
+        ctrl_credit_link: Link[int],
     ) -> None:
         """Attach input-side links (the reverse-direction credits go out)."""
         self.data_in_links[port] = data_link
@@ -386,7 +386,9 @@ class FRRouter:
             self._commit_reservation(port, flit, i, departure, out_port, now)
         return True
 
-    def _find_departure(self, port: int, table, now: int, earliest: int):
+    def _find_departure(
+        self, port: int, table: OutputReservationTable, now: int, earliest: int
+    ) -> int | None:
         """Earliest departure satisfying the output table *and* this
         input's buffer read ports (paper footnote 7: one "Buffer Out" row
         unless the input buffer is multi-ported)."""

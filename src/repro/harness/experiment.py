@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Any, Union
 
 from repro.baselines.vc.config import VCConfig
 from repro.baselines.vc.network import VCNetwork
@@ -23,10 +23,12 @@ from repro.baselines.wormhole.network import WormholeConfig, WormholeNetwork
 from repro.core.config import FRConfig
 from repro.core.network import FRNetwork
 from repro.harness.presets import MeasurementPreset, get_preset
+from repro.sim.invariants import InvariantChecker
 from repro.sim.kernel import Simulator
 from repro.sim.netbase import NetworkModel
 from repro.stats.warmup import WarmupDetector
 from repro.topology.mesh import Mesh2D
+from repro.traffic.patterns import TrafficPattern
 
 AnyConfig = Union[VCConfig, FRConfig, WormholeConfig]
 
@@ -48,7 +50,7 @@ class ExperimentResult:
     cycles_simulated: int
     warmup_cycles: int
     saturated: bool
-    extras: dict = field(default_factory=dict)
+    extras: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         flag = " SATURATED" if self.saturated else ""
@@ -65,9 +67,9 @@ def build_network(
     packet_length: int = 5,
     seed: int = 1,
     mesh: Mesh2D | None = None,
-    traffic="uniform",  # a pattern name or a TrafficPattern instance
+    traffic: str | TrafficPattern = "uniform",
     injection_process: str = "periodic",
-    **network_kwargs,
+    **network_kwargs: Any,
 ) -> NetworkModel:
     """Construct the right network model for a flow-control configuration.
 
@@ -108,11 +110,17 @@ def run_experiment(
     seed: int = 1,
     preset: str | MeasurementPreset = "standard",
     mesh: Mesh2D | None = None,
-    traffic: str = "uniform",
+    traffic: str | TrafficPattern = "uniform",
     injection_process: str = "periodic",
-    **network_kwargs,
+    check_invariants: bool = False,
+    **network_kwargs: Any,
 ) -> ExperimentResult:
-    """Warm up, sample, drain, and report one (config, load) point."""
+    """Warm up, sample, drain, and report one (config, load) point.
+
+    With ``check_invariants`` the run is *sanitized*: an
+    :class:`~repro.sim.invariants.InvariantChecker` verifies the network's
+    conservation laws after every cycle and aborts on the first violation.
+    """
     preset = get_preset(preset)
     mesh = mesh or Mesh2D(8, 8)
     network = build_network(
@@ -125,7 +133,8 @@ def run_experiment(
         injection_process=injection_process,
         **network_kwargs,
     )
-    simulator = Simulator(network)
+    checker = InvariantChecker() if check_invariants else None
+    simulator = Simulator(network, checker=checker)
     warmup_end = _warm_up(network, simulator, preset)
     sample_end = warmup_end + preset.sample_cycles
     network.set_measure_window(warmup_end, sample_end)
@@ -172,7 +181,7 @@ def _collect(
     capacity = network.mesh.capacity_flits_per_node()
     stats = network.latency_stats
     have_latency = stats.count > 0
-    extras: dict = {}
+    extras: dict[str, float] = {}
     if isinstance(network, FRNetwork):
         extras["bypass_fraction"] = network.bypass_fraction()
         if network.data_flit_latency.count:

@@ -29,7 +29,7 @@ class FigureResult:
     figure_id: str
     title: str
     curves: list[LoadSweepResult] = field(default_factory=list)
-    notes: dict = field(default_factory=dict)
+    notes: dict[str, float | None] = field(default_factory=dict)
 
     def curve(self, name: str) -> LoadSweepResult:
         for curve in self.curves:
@@ -51,6 +51,7 @@ def figure5(
     preset: str | MeasurementPreset = "standard",
     seed: int = 1,
     loads: list[float] | None = None,
+    check_invariants: bool = False,
 ) -> FigureResult:
     """Latency vs offered traffic, 5-flit packets, fast control (Figure 5)."""
     loads = loads or DEFAULT_LOADS_5FLIT
@@ -60,7 +61,14 @@ def figure5(
     )
     for config in (VC8, VC16, FR6, FR13):
         result.curves.append(
-            run_load_sweep(config, loads, packet_length=5, seed=seed, preset=preset)
+            run_load_sweep(
+                config,
+                loads,
+                packet_length=5,
+                seed=seed,
+                preset=preset,
+                check_invariants=check_invariants,
+            )
         )
     return result
 
@@ -69,6 +77,7 @@ def figure6(
     preset: str | MeasurementPreset = "standard",
     seed: int = 1,
     loads: list[float] | None = None,
+    check_invariants: bool = False,
 ) -> FigureResult:
     """Latency vs offered traffic, 21-flit packets, fast control (Figure 6)."""
     loads = loads or DEFAULT_LOADS_21FLIT
@@ -78,7 +87,14 @@ def figure6(
     )
     for config in (VC8, VC32, FR6, FR13):
         result.curves.append(
-            run_load_sweep(config, loads, packet_length=21, seed=seed, preset=preset)
+            run_load_sweep(
+                config,
+                loads,
+                packet_length=21,
+                seed=seed,
+                preset=preset,
+                check_invariants=check_invariants,
+            )
         )
     return result
 
@@ -88,6 +104,7 @@ def figure7(
     seed: int = 1,
     loads: list[float] | None = None,
     horizons: tuple[int, ...] = (16, 32, 64, 128),
+    check_invariants: bool = False,
 ) -> FigureResult:
     """FR6 sensitivity to the scheduling horizon (Figure 7)."""
     loads = loads or DEFAULT_LOADS_5FLIT
@@ -97,7 +114,12 @@ def figure7(
     )
     for horizon in horizons:
         sweep = run_load_sweep(
-            FR6.with_horizon(horizon), loads, packet_length=5, seed=seed, preset=preset
+            FR6.with_horizon(horizon),
+            loads,
+            packet_length=5,
+            seed=seed,
+            preset=preset,
+            check_invariants=check_invariants,
         )
         sweep.config_name = f"FR6/s={horizon}"
         result.curves.append(sweep)
@@ -109,6 +131,7 @@ def figure8(
     seed: int = 1,
     loads: list[float] | None = None,
     leads: tuple[int, ...] = (1, 2, 4),
+    check_invariants: bool = False,
 ) -> FigureResult:
     """FR6 with leading control, lead = 1/2/4 cycles, 1-cycle wires (Figure 8)."""
     loads = loads or DEFAULT_LOADS_5FLIT
@@ -123,6 +146,7 @@ def figure8(
             packet_length=5,
             seed=seed,
             preset=preset,
+            check_invariants=check_invariants,
         )
         sweep.config_name = f"FR6/lead={lead}"
         result.curves.append(sweep)
@@ -133,6 +157,7 @@ def figure9(
     preset: str | MeasurementPreset = "standard",
     seed: int = 1,
     loads: list[float] | None = None,
+    check_invariants: bool = False,
 ) -> FigureResult:
     """FR6 (1-cycle lead) vs VC8/VC16 on 1-cycle wires, 5-flit pkts (Figure 9)."""
     loads = loads or DEFAULT_LOADS_5FLIT
@@ -141,13 +166,25 @@ def figure9(
         "leading control vs virtual-channel flow control, 1-cycle wires",
     )
     fr_sweep = run_load_sweep(
-        FR6.with_leading_control(1), loads, packet_length=5, seed=seed, preset=preset
+        FR6.with_leading_control(1),
+        loads,
+        packet_length=5,
+        seed=seed,
+        preset=preset,
+        check_invariants=check_invariants,
     )
     fr_sweep.config_name = "FR6/lead=1"
     result.curves.append(fr_sweep)
     for config in (VC8.with_unit_links(), VC16.with_unit_links()):
         result.curves.append(
-            run_load_sweep(config, loads, packet_length=5, seed=seed, preset=preset)
+            run_load_sweep(
+                config,
+                loads,
+                packet_length=5,
+                seed=seed,
+                preset=preset,
+                check_invariants=check_invariants,
+            )
         )
     return result
 
@@ -157,6 +194,7 @@ def section42_occupancy(
     seed: int = 1,
     fr_load: float = 0.60,
     vc_load: float = 0.56,
+    check_invariants: bool = False,
 ) -> FigureResult:
     """Section 4.2's buffer-pool occupancy study with 21-flit packets.
 
@@ -171,6 +209,7 @@ def section42_occupancy(
         packet_length=21,
         seed=seed,
         preset=preset,
+        check_invariants=check_invariants,
         track_occupancy_node=center,
     )
     vc_point = run_experiment(
@@ -179,6 +218,7 @@ def section42_occupancy(
         packet_length=21,
         seed=seed,
         preset=preset,
+        check_invariants=check_invariants,
         track_occupancy_node=center,
     )
     result = FigureResult(
@@ -201,6 +241,7 @@ def section44_control_lead(
     seed: int = 1,
     load: float = 0.77,
     leads: tuple[int, ...] = (1, 4),
+    check_invariants: bool = False,
 ) -> FigureResult:
     """Section 4.4's control-lead study: how far ahead control flits arrive.
 
@@ -219,6 +260,7 @@ def section44_control_lead(
             packet_length=5,
             seed=seed,
             preset=preset,
+            check_invariants=check_invariants,
             track_control_lead=True,
         )
         result.notes[f"lead={lead} mean control lead (cycles)"] = point.extras.get(

@@ -19,17 +19,19 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Callable
 
 from repro.baselines.vc.config import VC8, VC16, VC32
 from repro.baselines.wormhole.network import WormholeConfig
 from repro.core.config import FR6, FR13
 from repro.harness import figures as figures_module
-from repro.harness.experiment import run_experiment
+from repro.harness.experiment import AnyConfig, run_experiment
 from repro.harness.saturation import find_saturation
 from repro.harness.tables import format_table1, format_table2, table1, table2, table3
 from repro.harness.sweep import run_load_sweep
+from repro.sim.invariants import InvariantChecker
 
-CONFIGS = {
+CONFIGS: dict[str, AnyConfig] = {
     "VC8": VC8,
     "VC16": VC16,
     "VC32": VC32,
@@ -38,7 +40,7 @@ CONFIGS = {
     "WH8": WormholeConfig(buffers_per_input=8),
 }
 
-FIGURES = {
+FIGURES: dict[str, Callable[..., figures_module.FigureResult]] = {
     "5": figures_module.figure5,
     "6": figures_module.figure6,
     "7": figures_module.figure7,
@@ -47,7 +49,7 @@ FIGURES = {
 }
 
 
-def _config(name: str):
+def _config(name: str) -> AnyConfig:
     try:
         return CONFIGS[name.upper()]
     except KeyError:
@@ -62,6 +64,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--preset", default="standard", help="quick|standard|paper")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run sanitized: verify conservation laws after every cycle and "
+        "abort on the first violation (see docs/invariants.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="storage overhead (analytical)")
@@ -114,10 +122,13 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             packet_lengths=lengths,
             include_leading=not args.no_leading,
+            check_invariants=args.check_invariants,
         )
         print(result.format())
     elif args.command == "figure":
-        result = FIGURES[args.number](preset=args.preset, seed=args.seed)
+        result = FIGURES[args.number](
+            preset=args.preset, seed=args.seed, check_invariants=args.check_invariants
+        )
         print(result.format())
     elif args.command == "point":
         result = run_experiment(
@@ -126,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
             packet_length=args.packet_length,
             seed=args.seed,
             preset=args.preset,
+            check_invariants=args.check_invariants,
         )
         print(result.summary())
     elif args.command == "saturate":
@@ -135,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             preset=args.preset,
             low=args.low,
+            check_invariants=args.check_invariants,
         )
         print(
             f"{result.config_name}: saturation {result.saturation * 100:.0f}% of "
@@ -143,9 +156,15 @@ def main(argv: list[str] | None = None) -> int:
         for offered, accepted in result.probes:
             print(f"  offered {offered:.3f} -> accepted {accepted:.3f}")
     elif args.command == "occupancy":
-        print(figures_module.section42_occupancy(preset=args.preset, seed=args.seed).format())
+        result = figures_module.section42_occupancy(
+            preset=args.preset, seed=args.seed, check_invariants=args.check_invariants
+        )
+        print(result.format())
     elif args.command == "lead":
-        print(figures_module.section44_control_lead(preset=args.preset, seed=args.seed).format())
+        result = figures_module.section44_control_lead(
+            preset=args.preset, seed=args.seed, check_invariants=args.check_invariants
+        )
+        print(result.format())
     elif args.command == "sweep":
         loads = [float(x) for x in args.loads.split(",")]
         sweep_result = run_load_sweep(
@@ -154,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
             packet_length=args.packet_length,
             seed=args.seed,
             preset=args.preset,
+            check_invariants=args.check_invariants,
         )
         print(sweep_result.format_table())
     elif args.command == "trace":
@@ -163,7 +183,11 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _trace(args) -> str:
+def _checker(args: argparse.Namespace) -> InvariantChecker | None:
+    return InvariantChecker() if args.check_invariants else None
+
+
+def _trace(args: argparse.Namespace) -> str:
     from repro.core.config import FRConfig
     from repro.harness.experiment import build_network
     from repro.sim.kernel import Simulator
@@ -174,17 +198,17 @@ def _trace(args) -> str:
         raise SystemExit("tracing is available for flit-reservation configs only")
     network = build_network(config, args.load, seed=args.seed)
     log = TraceLog().attach(network)
-    Simulator(network).step(args.cycles)
+    Simulator(network, checker=_checker(args)).step(args.cycles)
     return log.format_packet(args.packet)
 
 
-def _utilization(args) -> str:
+def _utilization(args: argparse.Namespace) -> str:
     from repro.harness.experiment import build_network
     from repro.sim.kernel import Simulator
     from repro.stats.utilization import measure_channel_utilization
 
     network = build_network(_config(args.config), args.load, seed=args.seed)
-    simulator = Simulator(network)
+    simulator = Simulator(network, checker=_checker(args))
     simulator.step(max(500, args.cycles // 4))  # warm up
     report = measure_channel_utilization(network, simulator, args.cycles)
     return report.format(count=8)

@@ -13,9 +13,11 @@ robustness cross-check; for well-behaved networks knee and plateau agree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.harness.experiment import AnyConfig, build_network
 from repro.harness.presets import MeasurementPreset, get_preset
+from repro.sim.invariants import InvariantChecker
 from repro.sim.kernel import Simulator
 from repro.stats.warmup import WarmupDetector
 from repro.topology.mesh import Mesh2D
@@ -44,7 +46,8 @@ def measure_throughput(
     seed: int = 1,
     preset: str | MeasurementPreset = "standard",
     mesh: Mesh2D | None = None,
-    **kwargs,
+    check_invariants: bool = False,
+    **kwargs: Any,
 ) -> float:
     """Accepted load (fraction of capacity) at one offered load.
 
@@ -57,7 +60,8 @@ def measure_throughput(
     network = build_network(
         config, offered_load, packet_length=packet_length, seed=seed, mesh=mesh, **kwargs
     )
-    simulator = Simulator(network)
+    checker = InvariantChecker() if check_invariants else None
+    simulator = Simulator(network, checker=checker)
     detector = WarmupDetector(min_cycles=preset.min_warmup, window=preset.warmup_window)
     while simulator.cycle < preset.max_warmup:
         simulator.step()
@@ -78,7 +82,7 @@ def find_saturation(
     high: float = 1.0,
     resolution: float = 0.02,
     delivery_tolerance: float = 0.03,
-    **kwargs,
+    **kwargs: Any,
 ) -> SaturationResult:
     """Bisect for the saturation knee of one configuration.
 

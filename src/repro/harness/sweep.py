@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.harness.experiment import AnyConfig, ExperimentResult, run_experiment
 from repro.harness.presets import MeasurementPreset
@@ -55,7 +56,7 @@ def run_load_sweep(
     seed: int = 1,
     preset: str | MeasurementPreset = "standard",
     stop_when_saturated: bool = True,
-    **kwargs,
+    **kwargs: Any,
 ) -> LoadSweepResult:
     """Measure one configuration across ascending offered loads.
 

@@ -17,8 +17,8 @@ from repro.core.config import FR6, FR13
 from repro.harness.experiment import AnyConfig, run_experiment
 from repro.harness.presets import MeasurementPreset
 from repro.harness.saturation import find_saturation
-from repro.overhead.bandwidth import fr_bandwidth, vc_bandwidth
-from repro.overhead.storage import FRStorageModel, VCStorageModel
+from repro.overhead.bandwidth import BandwidthOverhead, fr_bandwidth, vc_bandwidth
+from repro.overhead.storage import FRStorageModel, StorageBreakdown, VCStorageModel
 
 
 def table1(flit_bits: int = 256, type_bits: int = 2) -> dict[str, dict[str, float]]:
@@ -35,7 +35,7 @@ def table1(flit_bits: int = 256, type_bits: int = 2) -> dict[str, dict[str, floa
     return rows
 
 
-def _storage_row(breakdown) -> dict[str, float]:
+def _storage_row(breakdown: StorageBreakdown) -> dict[str, float]:
     return {
         "data_buffers": breakdown.data_buffers,
         "control_buffers": breakdown.control_buffers,
@@ -84,7 +84,7 @@ def table2(
     return rows
 
 
-def _bandwidth_row(overhead, flit_bits: int) -> dict[str, float]:
+def _bandwidth_row(overhead: BandwidthOverhead, flit_bits: int) -> dict[str, float]:
     return {
         "destination": round(overhead.destination, 3),
         "vcid": round(overhead.vcid, 3),
@@ -183,6 +183,7 @@ def table3(
     packet_lengths: tuple[int, ...] = (5, 21),
     include_leading: bool = True,
     saturation_low: float = 0.25,
+    check_invariants: bool = False,
 ) -> Table3Result:
     """Measure every Table 3 cell.
 
@@ -193,12 +194,18 @@ def table3(
     for length in packet_lengths:
         for config in fast_control_configs():
             result.rows.append(
-                _table3_row("fast", config, length, base_load, preset, seed, saturation_low)
+                _table3_row(
+                    "fast", config, length, base_load, preset, seed,
+                    saturation_low, check_invariants,
+                )
             )
     if include_leading:
         for config in leading_control_configs(lead=1):
             result.rows.append(
-                _table3_row("leading", config, 5, base_load, preset, seed, saturation_low)
+                _table3_row(
+                    "leading", config, 5, base_load, preset, seed,
+                    saturation_low, check_invariants,
+                )
             )
     return result
 
@@ -211,12 +218,23 @@ def _table3_row(
     preset: str | MeasurementPreset,
     seed: int,
     saturation_low: float,
+    check_invariants: bool = False,
 ) -> Table3Row:
     base = run_experiment(
-        config, base_load, packet_length=packet_length, seed=seed, preset=preset
+        config,
+        base_load,
+        packet_length=packet_length,
+        seed=seed,
+        preset=preset,
+        check_invariants=check_invariants,
     )
     mid = run_experiment(
-        config, 0.50, packet_length=packet_length, seed=seed, preset=preset
+        config,
+        0.50,
+        packet_length=packet_length,
+        seed=seed,
+        preset=preset,
+        check_invariants=check_invariants,
     )
     saturation = find_saturation(
         config,
@@ -224,6 +242,7 @@ def _table3_row(
         seed=seed,
         preset=preset,
         low=saturation_low,
+        check_invariants=check_invariants,
     )
     return Table3Row(
         regime=regime,

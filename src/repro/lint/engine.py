@@ -1,0 +1,103 @@
+"""The frfc-lint engine: file walking, suppression, and reporting.
+
+The linter parses each file once into an :mod:`ast` tree and hands it to
+every registered rule (see :mod:`repro.lint.rules`).  Findings are plain
+records; the engine subtracts those the source suppresses with an inline
+marker and formats the rest like a compiler diagnostic::
+
+    src/repro/core/router.py:42:8: D004 mutable default argument `history`
+
+A finding on line ``L`` is suppressed when line ``L`` carries the comment
+``# frfc-lint: disable=D001`` (several rule ids may be listed, separated by
+commas; ``disable=all`` silences every rule for that line).  Suppression is
+deliberately line-scoped -- blanket file- or block-level waivers would
+defeat the point of simulator-specific rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+_DISABLE_RE = re.compile(r"#\s*frfc-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+class LintConfigurationError(Exception):
+    """Raised when the linter is invoked on paths it cannot analyse."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+
+
+def suppressed_rules_by_line(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids disabled on that line."""
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(line)
+        if match is None:
+            continue
+        rules = {token.strip() for token in match.group(1).split(",") if token.strip()}
+        suppressions[lineno] = rules
+    return suppressions
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Run every rule over one file's source text."""
+    from repro.lint.rules import ALL_RULES
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                rule_id="E000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    suppressions = suppressed_rules_by_line(source)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        for finding in rule.check(tree, path):
+            disabled = suppressions.get(finding.line, set())
+            if finding.rule_id in disabled or "all" in disabled:
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    """Expand files and directories into the .py files to lint."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise LintConfigurationError(f"not a python file or directory: {path}")
+
+
+def lint_paths(paths: Sequence[str | Path]) -> list[Finding]:
+    """Lint every python file reachable from ``paths``."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_source(file_path.read_text(), str(file_path)))
+    return findings

@@ -1,0 +1,301 @@
+"""The frfc-lint rules (D001-D005).
+
+These are *simulator-specific* checks: each one fences off a class of bug
+that has silently corrupted cycle-accurate models in practice.
+
+=====  ======================================================================
+D001   No wall-clock reads or global ``random`` in ``src/repro``.  Every
+       stochastic draw must flow through :class:`repro.sim.rng.DeterministicRng`
+       so a run is exactly reproducible from one integer seed; wall-clock
+       values make results unrepeatable by construction.
+D002   No iteration over bare ``set`` expressions.  Set iteration order
+       depends on element hashes, so a router that walks a set makes
+       hash-order-dependent (hence irreproducible) arbitration decisions.
+D003   Every ``*Error``/``*Violation`` exception must be raised with a
+       message.  Protocol-violation exceptions are the simulator's crash
+       dumps; a bare ``raise BufferPoolError()`` loses the router, port, and
+       cycle that make the report actionable.
+D004   No mutable default arguments.  A shared default list/dict aliases
+       state across router instances -- precisely the cross-node coupling a
+       cycle-stepped model must never have.
+D005   Public functions in ``core/``, ``sim/``, and ``baselines/`` must be
+       fully type-annotated (every parameter and the return type), keeping
+       the ``mypy --strict`` gate airtight where the flit accounting lives.
+=====  ======================================================================
+
+Any rule can be silenced on a single line with ``# frfc-lint: disable=Dxxx``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.engine import Finding
+
+#: Modules whose import (in simulator code) defeats seeded reproducibility.
+FORBIDDEN_MODULES = ("random",)
+
+#: Dotted call suffixes that read the wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Constructors whose call (or literal form) produces a mutable object.
+MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+#: Subpackages whose public functions D005 requires to be fully annotated.
+ANNOTATED_SUBPACKAGES = frozenset({"core", "sim", "baselines"})
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """Best-effort dotted name of an attribute chain (``a.b.c``)."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """One lint rule: an id, a one-line summary, and an AST check."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        raise NotImplementedError(f"rule {self.rule_id} does not implement check()")
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class NoAmbientNondeterminism(Rule):
+    """D001: no wall-clock reads, no global ``random`` module."""
+
+    rule_id = "D001"
+    summary = "wall-clock or global `random` use; randomness must flow through repro.sim.rng"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in FORBIDDEN_MODULES:
+                        yield self.finding(
+                            path,
+                            node,
+                            f"module `{alias.name}` imported; draw randomness "
+                            "through repro.sim.rng.DeterministicRng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = (node.module or "").split(".")[0]
+                if module in FORBIDDEN_MODULES:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"import from `{node.module}`; draw randomness "
+                        "through repro.sim.rng.DeterministicRng instead",
+                    )
+                elif module in ("time", "datetime"):
+                    for alias in node.names:
+                        dotted = f"{module}.{alias.name}"
+                        if dotted in WALL_CLOCK_CALLS or alias.name in ("datetime", "date"):
+                            yield self.finding(
+                                path,
+                                node,
+                                f"wall-clock import `{dotted}`: simulator results "
+                                "must not depend on real time",
+                            )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is None:
+                    continue
+                tail = ".".join(dotted.split(".")[-2:])
+                if tail in WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"wall-clock call `{dotted}()`: simulator results "
+                        "must not depend on real time",
+                    )
+
+
+class NoBareSetIteration(Rule):
+    """D002: iteration order over a set depends on hashes -- a determinism hazard."""
+
+    rule_id = "D002"
+    summary = "iteration over a bare set (hash-order nondeterminism)"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            iterables: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(generator.iter for generator in node.generators)
+            for iterable in iterables:
+                if self._is_bare_set(iterable):
+                    yield self.finding(
+                        path,
+                        iterable,
+                        "iteration over a bare set is hash-order nondeterministic; "
+                        "iterate a list/tuple or wrap in sorted()",
+                    )
+
+    @staticmethod
+    def _is_bare_set(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+            # Set algebra (union/intersection/difference) of sets is a set.
+            return NoBareSetIteration._is_bare_set(node.left) or NoBareSetIteration._is_bare_set(
+                node.right
+            )
+        return False
+
+
+class ErrorsCarryMessages(Rule):
+    """D003: protocol-violation exceptions must name what went wrong."""
+
+    rule_id = "D003"
+    summary = "`*Error` exception raised without a message"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, (ast.Name, ast.Attribute)):
+                name = _dotted_name(exc)
+                if name is not None and self._is_error_name(name.split(".")[-1]):
+                    yield self.finding(
+                        path, node, f"exception `{name}` raised without a message"
+                    )
+            elif isinstance(exc, ast.Call):
+                name = _dotted_name(exc.func)
+                if name is None:
+                    continue
+                short = name.split(".")[-1]
+                if self._is_error_name(short) and not exc.args:
+                    yield self.finding(
+                        path, node, f"exception `{short}` raised without a message"
+                    )
+
+    @staticmethod
+    def _is_error_name(name: str) -> bool:
+        return name.endswith("Error") or name.endswith("Violation")
+
+
+class NoMutableDefaults(Rule):
+    """D004: a mutable default is shared across every call and every instance."""
+
+    rule_id = "D004"
+    summary = "mutable default argument"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            positional = args.posonlyargs + args.args
+            for arg, default in zip(positional[len(positional) - len(args.defaults) :], args.defaults):
+                if self._is_mutable(default):
+                    yield self.finding(
+                        path, default, f"mutable default argument `{arg.arg}`"
+                    )
+            for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                if kw_default is not None and self._is_mutable(kw_default):
+                    yield self.finding(
+                        path, kw_default, f"mutable default argument `{arg.arg}`"
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in MUTABLE_FACTORIES
+        return False
+
+
+class PublicFunctionsAnnotated(Rule):
+    """D005: the flit-accounting subpackages keep a fully annotated surface."""
+
+    rule_id = "D005"
+    summary = "public function in core/, sim/, or baselines/ missing type annotations"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        parts = set(Path(path).parts)
+        if not parts & ANNOTATED_SUBPACKAGES:
+            return
+        yield from self._check_body(tree.body, path)
+
+    def _check_body(self, body: list[ast.stmt], path: str) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_body(node.body, path)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                missing = self._missing_annotations(node)
+                if missing:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"public function `{node.name}` missing type annotations: "
+                        + ", ".join(missing),
+                    )
+
+    @staticmethod
+    def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        args = node.args
+        missing: list[str] = []
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if node.returns is None:
+            missing.append("return")
+        return missing
+
+
+#: Every rule the engine runs, in report order.
+ALL_RULES: tuple[Rule, ...] = (
+    NoAmbientNondeterminism(),
+    NoBareSetIteration(),
+    ErrorsCarryMessages(),
+    NoMutableDefaults(),
+    PublicFunctionsAnnotated(),
+)

@@ -12,13 +12,17 @@ repository is built on:
   from one integer seed.
 """
 
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.invariants import InvariantChecker, InvariantViolation
+from repro.sim.kernel import CycleHook, SimulationError, Simulator
 from repro.sim.link import Link, LinkOverflowError
 from repro.sim.rng import DeterministicRng
 from repro.sim.tracelog import TraceEvent, TraceLog
 
 __all__ = [
+    "CycleHook",
     "DeterministicRng",
+    "InvariantChecker",
+    "InvariantViolation",
     "Link",
     "LinkOverflowError",
     "SimulationError",

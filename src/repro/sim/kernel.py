@@ -27,23 +27,48 @@ class SteppableNetwork(Protocol):
         """Advance the network by one clock cycle."""
 
 
+class CycleHook(Protocol):
+    """An after-cycle observer, e.g. an invariant checker.
+
+    ``check`` runs after the network has fully executed ``cycle``; raising
+    from it aborts the run at the first corrupted cycle (see
+    :mod:`repro.sim.invariants`).
+    """
+
+    def check(self, network: SteppableNetwork, cycle: int) -> None:
+        """Inspect the network state after ``cycle`` completed."""
+
+
 class Simulator:
     """Drives a :class:`SteppableNetwork` through time.
 
     The simulator exposes the current cycle, single-step and run-until
     control, and guards every run with a hard cycle ceiling so a deadlocked
     or misconfigured network fails loudly instead of spinning forever.
+
+    ``checker`` is an optional after-cycle hook (typically a
+    :class:`repro.sim.invariants.InvariantChecker`): it is called with the
+    network and the cycle just executed, on every cycle of every run, so a
+    corrupted conservation law is reported within one cycle of appearing.
     """
 
-    def __init__(self, network: SteppableNetwork, max_cycles: int = 10_000_000) -> None:
+    def __init__(
+        self,
+        network: SteppableNetwork,
+        max_cycles: int = 10_000_000,
+        checker: Optional[CycleHook] = None,
+    ) -> None:
         self.network = network
         self.cycle = 0
         self.max_cycles = max_cycles
+        self.checker = checker
 
     def step(self, cycles: int = 1) -> None:
         """Advance the clock by ``cycles`` cycles."""
         for _ in range(cycles):
             self.network.step(self.cycle)
+            if self.checker is not None:
+                self.checker.check(self.network, self.cycle)
             self.cycle += 1
             if self.cycle > self.max_cycles:
                 raise SimulationError(

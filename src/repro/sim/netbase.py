@@ -75,7 +75,7 @@ class NetworkModel:
     @property
     def flow_control_name(self) -> str:
         """Human-readable flow control scheme name, e.g. 'VC8'."""
-        raise NotImplementedError
+        raise NotImplementedError("network models must name their flow control scheme")
 
     def _next_packet_id(self) -> int:
         self._packet_counter += 1
@@ -101,19 +101,19 @@ class NetworkModel:
 
     def source_queue_length(self, node: int) -> int:
         """Packets waiting (or partially injected) at one node's interface."""
-        raise NotImplementedError
+        raise NotImplementedError("network models must report per-node source queue lengths")
 
     # -- per-cycle hook -----------------------------------------------------
 
     def step(self, cycle: int) -> None:
         """Advance the whole network by one clock cycle."""
-        raise NotImplementedError
+        raise NotImplementedError("network models must implement the per-cycle step")
 
     # -- shared bookkeeping -------------------------------------------------
 
     def _create_packets(self, cycle: int) -> list[Packet]:
         """Poll every source; register and return this cycle's new packets."""
-        created = []
+        created: list[Packet] = []
         for source in self.sources:
             packet = source.maybe_create(cycle)
             if packet is None:

@@ -9,7 +9,7 @@ suite and the benchmark harness both rely on.
 
 from __future__ import annotations
 
-import random
+import random  # frfc-lint: disable=D001 -- the one sanctioned wrapper around stdlib random
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")

@@ -12,10 +12,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:
+    from repro.core.flits import ControlFlit, DataFlit
     from repro.core.network import FRNetwork
+
+    ControlHook = Optional[Callable[["ControlFlit", int, int], None]]
+    DataHook = Optional[Callable[["DataFlit", int, int], None]]
+    EjectHook = Callable[["DataFlit", int], None]
 
 
 @dataclass(frozen=True)
@@ -78,8 +83,8 @@ class TraceLog:
 
     # -- hook wrappers ------------------------------------------------------------
 
-    def _wrap_control(self, inner):
-        def hook(flit, node, cycle):
+    def _wrap_control(self, inner: "ControlHook") -> "Callable[[ControlFlit, int, int], None]":
+        def hook(flit: "ControlFlit", node: int, cycle: int) -> None:
             if cycle >= 0:
                 role = "head" if flit.is_head else "body"
                 self.events.append(
@@ -96,8 +101,8 @@ class TraceLog:
 
         return hook
 
-    def _wrap_data(self, inner):
-        def hook(flit, node, cycle):
+    def _wrap_data(self, inner: "DataHook") -> "Callable[[DataFlit, int, int], None]":
+        def hook(flit: "DataFlit", node: int, cycle: int) -> None:
             self.events.append(
                 TraceEvent(
                     cycle,
@@ -112,8 +117,8 @@ class TraceLog:
 
         return hook
 
-    def _wrap_eject(self, inner, node):
-        def hook(flit, cycle):
+    def _wrap_eject(self, inner: "EjectHook", node: int) -> "EjectHook":
+        def hook(flit: "DataFlit", cycle: int) -> None:
             self.events.append(
                 TraceEvent(
                     cycle,

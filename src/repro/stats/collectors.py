@@ -96,7 +96,7 @@ class LatencyStats:
         """A printable text histogram of the latency distribution."""
         rows = self.histogram(bin_width)
         peak = max(count for _, count in rows)
-        lines = []
+        lines: list[str] = []
         for start, count in rows:
             bar = "#" * round(bar_width * count / peak) if peak else ""
             lines.append(f"{start:>6}-{start + bin_width - 1:<6}{count:>8}  {bar}")

@@ -69,7 +69,7 @@ def mean_and_halfwidth(
         return mean, math.inf
     k = min(batches, n // 2)
     batch_size = n // k
-    batch_means = []
+    batch_means: list[float] = []
     for b in range(k):
         chunk = samples[b * batch_size : (b + 1) * batch_size]
         batch_means.append(sum(chunk) / len(chunk))

@@ -10,8 +10,14 @@ and is the basis of the bottleneck analysis in the examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.topology.mesh import EAST, NORTH, PORT_NAMES, SOUTH, WEST
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+    from repro.sim.link import Link
+    from repro.sim.netbase import NetworkModel
 
 
 @dataclass
@@ -50,7 +56,9 @@ class ChannelUtilization:
         return "\n".join(lines)
 
 
-def measure_channel_utilization(network, simulator, cycles: int) -> ChannelUtilization:
+def measure_channel_utilization(
+    network: NetworkModel, simulator: Simulator, cycles: int
+) -> ChannelUtilization:
     """Run ``cycles`` more cycles on ``simulator`` and report busy fractions.
 
     The network should already be warmed to the state of interest; the
@@ -70,7 +78,9 @@ def measure_channel_utilization(network, simulator, cycles: int) -> ChannelUtili
     )
 
 
-def snapshot_channel_utilization(network, cycles_observed: int) -> ChannelUtilization:
+def snapshot_channel_utilization(
+    network: NetworkModel, cycles_observed: int
+) -> ChannelUtilization:
     """Report lifetime busy fractions of a network already driven elsewhere."""
     links = _data_links(network)
     if not links:
@@ -83,9 +93,10 @@ def snapshot_channel_utilization(network, cycles_observed: int) -> ChannelUtiliz
     )
 
 
-def _data_links(network) -> dict[tuple[int, int], object]:
-    links: dict[tuple[int, int], object] = {}
-    for router in network.routers:
+def _data_links(network: NetworkModel) -> dict[tuple[int, int], Link[Any]]:
+    links: dict[tuple[int, int], Link[Any]] = {}
+    routers: list[Any] = getattr(network, "routers", [])
+    for router in routers:
         out_links = getattr(router, "data_out_links", None) or getattr(
             router, "out_data_links", None
         )

@@ -15,12 +15,12 @@ class InjectionProcess:
     """Decides, cycle by cycle, whether a source creates a packet."""
 
     def should_inject(self, cycle: int, rng: DeterministicRng) -> bool:
-        raise NotImplementedError
+        raise NotImplementedError("injection processes must implement should_inject")
 
     @property
     def rate(self) -> float:
         """Long-run packets per cycle."""
-        raise NotImplementedError
+        raise NotImplementedError("injection processes must report their long-run rate")
 
 
 class PeriodicInjection(InjectionProcess):

@@ -12,7 +12,7 @@ conventional treatment in the NoC literature.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.sim.rng import DeterministicRng
 from repro.topology.mesh import Mesh2D
@@ -26,7 +26,7 @@ class TrafficPattern:
 
     def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
         """Destination for a packet from ``source``; None means "do not inject"."""
-        raise NotImplementedError
+        raise NotImplementedError("traffic patterns must implement destination()")
 
     def active_sources(self) -> list[int]:
         """Nodes that inject under this pattern."""
@@ -140,7 +140,7 @@ _PATTERNS = {
 }
 
 
-def make_traffic_pattern(name: str, mesh: Mesh2D, **kwargs) -> TrafficPattern:
+def make_traffic_pattern(name: str, mesh: Mesh2D, **kwargs: Any) -> TrafficPattern:
     """Build a pattern by name ('uniform', 'transpose', 'hotspot', ...)."""
     if name == "hotspot":
         hotspots = kwargs.pop("hotspots", [mesh.node_at(mesh.width // 2, mesh.height // 2)])

@@ -11,7 +11,7 @@ class TestFigureCommand:
     def test_figure_dispatch(self, monkeypatch, capsys):
         calls = {}
 
-        def fake_figure(preset="standard", seed=1):
+        def fake_figure(preset="standard", seed=1, check_invariants=False):
             calls["args"] = (preset, seed)
             return FigureResult("Figure 5", "stub title")
 
@@ -27,7 +27,9 @@ class TestFigureCommand:
 
 class TestSaturateCommand:
     def test_saturate_prints_probes(self, monkeypatch, capsys):
-        def fake_find(config, packet_length=5, seed=1, preset="standard", low=0.3):
+        def fake_find(
+            config, packet_length=5, seed=1, preset="standard", low=0.3, **kwargs
+        ):
             return SaturationResult(
                 config_name=config.name,
                 packet_length=packet_length,

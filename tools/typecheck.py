@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Strict type-checking gate: ``mypy --strict`` over ``src/repro``.
+
+Usage::
+
+    python tools/typecheck.py            # gate (exit 1 on any finding)
+    python tools/typecheck.py --ruff     # also run `ruff check src tools tests`
+
+mypy and ruff come from the ``dev`` optional-dependency extra
+(``pip install -e .[dev]``); CI installs them.  On machines without them the
+gate *skips* (exit 0) rather than failing, so the simulator itself stays
+dependency-free -- the frfc-lint pass (``tools/frfc_lint.py``) has no such
+requirement and always runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+def _run(argv: list[str]) -> int:
+    print("$", " ".join(argv), flush=True)
+    return subprocess.run(argv, cwd=REPO).returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="typecheck", description="mypy --strict gate for src/repro"
+    )
+    parser.add_argument(
+        "--ruff", action="store_true", help="also run `ruff check` on src, tools, tests"
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    if _have("mypy"):
+        status |= _run([sys.executable, "-m", "mypy", "--strict", "src/repro"])
+    else:
+        print("typecheck: mypy not installed; skipping (pip install -e .[dev])")
+
+    if args.ruff:
+        if _have("ruff"):
+            status |= _run([sys.executable, "-m", "ruff", "check", "src", "tools", "tests"])
+        else:
+            print("typecheck: ruff not installed; skipping (pip install -e .[dev])")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
