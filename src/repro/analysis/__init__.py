@@ -1,0 +1,70 @@
+"""Whole-model static analysis: deadlock proofs, race detection, differs.
+
+This subpackage reasons about the simulator *as a model*, complementing the
+per-file lint pass in :mod:`repro.lint` and the runtime
+:class:`~repro.sim.invariants.InvariantChecker`:
+
+* :mod:`repro.analysis.cdg` -- channel-dependency-graph deadlock prover:
+  certifies a routing function deadlock-free (with a checkable rank
+  certificate) or exhibits the exact offending channel cycle.
+* :mod:`repro.analysis.broken_routing` -- deliberately deadlock-prone
+  routing fixtures the prover must catch.
+* :mod:`repro.analysis.phases` -- cycle-phase race detector: proves the
+  per-phase actor loops in every network's ``step()`` are
+  order-independent, i.e. all same-cycle cross-node coupling flows through
+  a ``Link`` pipeline stage.
+* :mod:`repro.analysis.permute` -- runtime order-permutation differ: the
+  dynamic counterpart, re-running a seeded workload under shuffled router
+  evaluation orders and requiring bit-identical results.
+
+Everything here is pure stdlib and imports the simulator's modules only as
+source text (AST) or through their public APIs; analysis never mutates
+model state.
+"""
+
+from repro.analysis.broken_routing import GreedyDimensionRouting, YXMixedRouting
+from repro.analysis.cdg import (
+    CDGReport,
+    Channel,
+    RoutingLivelock,
+    build_cdg,
+    prove_deadlock_freedom,
+    tarjan_sccs,
+)
+from repro.analysis.phases import (
+    AnalysisError,
+    Hazard,
+    ModelRaceReport,
+    PhaseEffects,
+    analyze_known_networks,
+    analyze_model,
+    analyze_module_ast,
+    analyze_module_source,
+)
+from repro.analysis.permute import (
+    PermutationReport,
+    RunDigest,
+    run_permutation_diff,
+)
+
+__all__ = [
+    "AnalysisError",
+    "CDGReport",
+    "Channel",
+    "GreedyDimensionRouting",
+    "Hazard",
+    "ModelRaceReport",
+    "PermutationReport",
+    "PhaseEffects",
+    "RoutingLivelock",
+    "RunDigest",
+    "YXMixedRouting",
+    "analyze_known_networks",
+    "analyze_model",
+    "analyze_module_ast",
+    "analyze_module_source",
+    "build_cdg",
+    "prove_deadlock_freedom",
+    "run_permutation_diff",
+    "tarjan_sccs",
+]

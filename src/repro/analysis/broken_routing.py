@@ -1,0 +1,81 @@
+"""Intentionally deadlock-prone routing functions (negative CDG fixtures).
+
+The channel-dependency-graph prover in :mod:`repro.analysis.cdg` must do two
+things well: certify the shipped XY routing deadlock-free, and name the
+exact offending channel cycle when a routing function is *not*.  These two
+routing functions exercise the second path.  Both are deterministic, both
+always make minimal progress (so :func:`repro.topology.route_path`
+terminates for every pair), yet both allow the four turn combinations that
+close a cycle of channel waits on a mesh without virtual channels:
+
+* :class:`YXMixedRouting` routes XY for even-numbered destinations and YX
+  for odd-numbered ones.  Mixing the two dimension orders permits all eight
+  turns, the textbook way to break dimension-ordered deadlock freedom.
+* :class:`GreedyDimensionRouting` models a "minimal adaptive routing
+  without an escape channel": at every hop it greedily corrects the
+  dimension with the larger remaining offset.  Each single decision looks
+  harmless, but position-dependent dimension order again closes wait
+  cycles -- the hazard escape virtual channels exist to break (Duato).
+
+Neither class may ever be handed to a network model; they exist so tests
+and the ``frfc_analyze cdg`` CLI can demonstrate a real counterexample
+cycle.  They satisfy the :class:`repro.topology.routing.RoutingFunction`
+protocol.
+"""
+
+from __future__ import annotations
+
+from repro.topology.mesh import EAST, EJECT, NORTH, SOUTH, WEST, Mesh2D
+
+
+class YXMixedRouting:
+    """XY routing toward even destinations, YX toward odd ones.
+
+    Deterministic and minimal, but the mixture allows both the XY turns
+    (east/west then north/south) and the YX turns (north/south then
+    east/west), whose composition around any mesh square is a channel
+    cycle.
+    """
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+
+    def output_port(self, node: int, destination: int) -> int:
+        """Route dimension-ordered, with the order picked by the destination."""
+        x, y = self.mesh.coordinates(node)
+        dx, dy = self.mesh.coordinates(destination)
+        if destination % 2 == 0:
+            order = ("x", "y")
+        else:
+            order = ("y", "x")
+        for dimension in order:
+            if dimension == "x" and x != dx:
+                return EAST if x < dx else WEST
+            if dimension == "y" and y != dy:
+                return SOUTH if y < dy else NORTH
+        return EJECT
+
+
+class GreedyDimensionRouting:
+    """Minimal 'adaptive' routing with no escape path.
+
+    Corrects whichever dimension has the larger remaining offset (ties go
+    to x), a simplified model of minimal adaptive routing collapsed to one
+    deterministic choice per hop.  Without an escape channel the
+    position-dependent dimension order closes channel-wait cycles.
+    """
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+
+    def output_port(self, node: int, destination: int) -> int:
+        """Greedily reduce the dimension with the larger remaining offset."""
+        x, y = self.mesh.coordinates(node)
+        dx, dy = self.mesh.coordinates(destination)
+        offset_x = dx - x
+        offset_y = dy - y
+        if offset_x == 0 and offset_y == 0:
+            return EJECT
+        if abs(offset_x) >= abs(offset_y) and offset_x != 0:
+            return EAST if offset_x > 0 else WEST
+        return SOUTH if offset_y > 0 else NORTH

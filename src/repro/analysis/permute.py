@@ -1,0 +1,243 @@
+"""Runtime order-permutation differ: the dynamic half of the race proof.
+
+The cycle-phase race detector (:mod:`repro.analysis.phases`) proves
+*statically* that the per-phase actor loops in ``step()`` are
+order-independent -- except for the hook escapes it deliberately leaves to
+runtime: network-level aggregation (latency sample appends, throughput
+counters) reached through ``Callable`` attributes.  This module closes the
+loop empirically.  Every :class:`~repro.sim.netbase.NetworkModel` carries
+an ``eval_order`` list that its phase loops iterate; the differ runs the
+same seeded workload several times, shuffling ``eval_order`` into a
+different (seeded, reproducible) permutation each run, and demands the
+end-of-run statistics be **bit-identical** -- not approximately equal.
+
+Bit-identity is achievable because every aggregated quantity is either an
+integer counter or a multiset of integer latencies: the digest compares
+latencies in sorted order (the canonical multiset form) and counters
+exactly, so any order-dependence anywhere in the model -- a missed shared
+write, a non-commutative hook -- shows up as a digest mismatch naming the
+first differing field.
+
+The per-actor RNG streams make this a fair test: sources and routers draw
+from streams spawned per node at construction, so a shuffled evaluation
+order replays the exact same per-node random decisions.  If the model were
+instead sharing one stream across actors, every permutation would produce
+a different workload and the differ would (correctly) fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.config import FRConfig
+from repro.core.network import FRNetwork
+from repro.harness.experiment import AnyConfig, build_network
+from repro.sim.invariants import InvariantChecker
+from repro.sim.kernel import Simulator
+from repro.sim.netbase import NetworkModel
+from repro.sim.rng import DeterministicRng
+from repro.topology.mesh import Mesh2D
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """Canonical end-of-run state of one simulation, order-free by design."""
+
+    eval_order_label: str
+    cycles: int
+    packets_created: int
+    packets_delivered: int
+    measured_delivered: int
+    flits_ejected: int
+    packets_ejected: int
+    latency_samples: tuple[int, ...]  # sorted: the canonical multiset form
+    in_flight_packet_ids: tuple[int, ...]  # sorted
+    source_queue_lengths: tuple[int, ...]  # per node, node order
+    extras: tuple[tuple[str, str], ...] = ()
+
+    def hexdigest(self) -> str:
+        payload = repr(
+            (
+                self.cycles,
+                self.packets_created,
+                self.packets_delivered,
+                self.measured_delivered,
+                self.flits_ejected,
+                self.packets_ejected,
+                self.latency_samples,
+                self.in_flight_packet_ids,
+                self.source_queue_lengths,
+                self.extras,
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def diff_fields(self, other: "RunDigest") -> list[str]:
+        """Names of the fields (identity aside) where the two runs differ."""
+        fields = (
+            "cycles",
+            "packets_created",
+            "packets_delivered",
+            "measured_delivered",
+            "flits_ejected",
+            "packets_ejected",
+            "latency_samples",
+            "in_flight_packet_ids",
+            "source_queue_lengths",
+            "extras",
+        )
+        return [
+            name
+            for name in fields
+            if getattr(self, name) != getattr(other, name)
+        ]
+
+
+@dataclass
+class PermutationReport:
+    """The differ's verdict across all evaluated orders."""
+
+    config_name: str
+    cycles: int
+    orders: int
+    digests: list[RunDigest] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.mismatches and len(self.digests) == self.orders
+
+    def format(self) -> str:
+        lines = [
+            f"order-permutation diff: {self.config_name}, "
+            f"{self.cycles} cycles, {self.orders} evaluation orders"
+        ]
+        for digest in self.digests:
+            lines.append(
+                f"  {digest.eval_order_label:<12} sha256 {digest.hexdigest()[:16]}  "
+                f"delivered={digest.packets_delivered} "
+                f"samples={len(digest.latency_samples)}"
+            )
+        if self.identical:
+            lines.append(
+                "  bit-identical: router evaluation order does not affect results"
+            )
+        else:
+            for mismatch in self.mismatches:
+                lines.append(f"  MISMATCH: {mismatch}")
+        return "\n".join(lines)
+
+
+def digest_network(network: NetworkModel, cycles: int, label: str) -> RunDigest:
+    """Collapse a finished run into its canonical, order-free digest."""
+    extras: list[tuple[str, str]] = []
+    if isinstance(network, FRNetwork):
+        extras.append(("bypass_fraction", repr(network.bypass_fraction())))
+        extras.append(
+            (
+                "data_flit_latencies",
+                repr(tuple(sorted(network.data_flit_latency.samples()))),
+            )
+        )
+    return RunDigest(
+        eval_order_label=label,
+        cycles=cycles,
+        packets_created=len(network.packets_in_flight) + network.packets_delivered,
+        packets_delivered=network.packets_delivered,
+        measured_delivered=network.measured_delivered,
+        flits_ejected=network.throughput.flits_ejected,
+        packets_ejected=network.throughput.packets_ejected,
+        latency_samples=tuple(sorted(network.latency_stats.samples())),
+        in_flight_packet_ids=tuple(sorted(network.packets_in_flight)),
+        source_queue_lengths=tuple(
+            network.source_queue_length(node) for node in network.mesh.nodes()
+        ),
+        extras=tuple(extras),
+    )
+
+
+def _run_once(
+    config: AnyConfig,
+    offered_load: float,
+    packet_length: int,
+    seed: int,
+    cycles: int,
+    mesh: Mesh2D,
+    eval_order: list[int],
+    label: str,
+    check_invariants: bool,
+) -> RunDigest:
+    network = build_network(
+        config,
+        offered_load,
+        packet_length=packet_length,
+        seed=seed,
+        mesh=mesh,
+    )
+    if sorted(eval_order) != list(mesh.nodes()):
+        raise ValueError(f"evaluation order is not a permutation of the mesh: {label}")
+    network.eval_order = list(eval_order)
+    network.set_measure_window(0, cycles)
+    checker = InvariantChecker() if check_invariants else None
+    simulator = Simulator(network, checker=checker)
+    simulator.step(cycles)
+    return digest_network(network, cycles, label)
+
+
+def run_permutation_diff(
+    config: AnyConfig | None = None,
+    offered_load: float = 0.3,
+    packet_length: int = 5,
+    seed: int = 7,
+    cycles: int = 300,
+    orders: int = 4,
+    mesh: Mesh2D | None = None,
+    shuffle_seed: int = 1234,
+    check_invariants: bool = False,
+) -> PermutationReport:
+    """Run one seeded workload under ``orders`` evaluation orders and diff.
+
+    The first order is the natural node order (the shipped default); each
+    further order is a seeded shuffle.  Returns a report whose
+    ``identical`` property is the verdict; mismatches name the run and the
+    exact fields that diverged from the baseline.
+    """
+    if orders < 2:
+        raise ValueError(f"need at least 2 evaluation orders to diff, got {orders}")
+    config = config or FRConfig()
+    mesh = mesh or Mesh2D(4, 4)
+    rng = DeterministicRng(shuffle_seed)
+    natural = list(mesh.nodes())
+    report = PermutationReport(
+        config_name=config.name, cycles=cycles, orders=orders
+    )
+    baseline: RunDigest | None = None
+    for index in range(orders):
+        if index == 0:
+            order, label = natural, "natural"
+        else:
+            order = rng.spawn(index).shuffled(natural)
+            label = f"shuffle[{index}]"
+        digest = _run_once(
+            config,
+            offered_load,
+            packet_length,
+            seed,
+            cycles,
+            mesh,
+            order,
+            label,
+            check_invariants,
+        )
+        report.digests.append(digest)
+        if baseline is None:
+            baseline = digest
+            continue
+        differing = baseline.diff_fields(digest)
+        if differing:
+            report.mismatches.append(
+                f"{digest.eval_order_label} differs from "
+                f"{baseline.eval_order_label} in: {', '.join(differing)}"
+            )
+    return report

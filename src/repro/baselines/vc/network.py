@@ -100,18 +100,17 @@ class VCNetwork(NetworkModel):
         return self.interfaces[node].queue_length
 
     def step(self, cycle: int) -> None:
-        routers = self.routers
-        for router in routers:
-            router.deliver_credits(cycle)
-            router.switch_traversal(cycle)
-        for router in routers:
-            router.deliver_flits(cycle)
+        for node in self.eval_order:
+            self.routers[node].deliver_credits(cycle)
+            self.routers[node].switch_traversal(cycle)
+        for node in self.eval_order:
+            self.routers[node].deliver_flits(cycle)
         for packet in self._create_packets(cycle):
             self.interfaces[packet.source].enqueue(packet)
-        for interface in self.interfaces:
-            interface.inject(cycle)
-        for router in routers:
-            router.route_and_allocate(cycle)
+        for node in self.eval_order:
+            self.interfaces[node].inject(cycle)
+        for node in self.eval_order:
+            self.routers[node].route_and_allocate(cycle)
         if self.occupancy is not None:
             self._sample_occupancy()
 

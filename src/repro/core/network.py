@@ -147,16 +147,16 @@ class FRNetwork(NetworkModel):
     def step(self, cycle: int) -> None:
         for packet in self._create_packets(cycle):
             self.interfaces[packet.source].enqueue(packet)
-        for router in self.routers:
-            router.control_phase(cycle)
-        for interface in self.interfaces:
-            interface.control_phase(cycle)
-        for router in self.routers:
-            router.data_departures(cycle)
-        for interface in self.interfaces:
-            interface.data_phase(cycle)
-        for router in self.routers:
-            router.data_arrivals(cycle)
+        for node in self.eval_order:
+            self.routers[node].control_phase(cycle)
+        for node in self.eval_order:
+            self.interfaces[node].control_phase(cycle)
+        for node in self.eval_order:
+            self.routers[node].data_departures(cycle)
+        for node in self.eval_order:
+            self.interfaces[node].data_phase(cycle)
+        for node in self.eval_order:
+            self.routers[node].data_arrivals(cycle)
         if self.occupancy is not None:
             self._sample_occupancy()
 

@@ -9,7 +9,10 @@ marker and formats the rest like a compiler diagnostic::
 
 A finding on line ``L`` is suppressed when line ``L`` carries the comment
 ``# frfc-lint: disable=D001`` (several rule ids may be listed, separated by
-commas; ``disable=all`` silences every rule for that line).  Suppression is
+commas; ``disable=all`` silences every rule for that line).  For statements
+too long to carry a trailing comment (wrapped calls, multi-line literals)
+the spelling ``# frfc-lint: disable-next-line=D001`` on its own line
+suppresses the rule on the *following* line instead.  Suppression is
 deliberately line-scoped -- blanket file- or block-level waivers would
 defeat the point of simulator-specific rules.
 """
@@ -22,7 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-_DISABLE_RE = re.compile(r"#\s*frfc-lint:\s*disable=([A-Za-z0-9,\s]+)")
+_DISABLE_RE = re.compile(r"#\s*frfc-lint:\s*disable(?P<next>-next-line)?=(?P<rules>[A-Za-z0-9,\s]+)")
 
 
 class LintConfigurationError(Exception):
@@ -44,14 +47,21 @@ class Finding:
 
 
 def suppressed_rules_by_line(source: str) -> dict[int, set[str]]:
-    """Map 1-based line numbers to the rule ids disabled on that line."""
+    """Map 1-based line numbers to the rule ids disabled on that line.
+
+    Both marker spellings contribute: ``disable=`` targets its own line,
+    ``disable-next-line=`` targets the line after the comment.
+    """
     suppressions: dict[int, set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _DISABLE_RE.search(line)
         if match is None:
             continue
-        rules = {token.strip() for token in match.group(1).split(",") if token.strip()}
-        suppressions[lineno] = rules
+        rules = {
+            token.strip() for token in match.group("rules").split(",") if token.strip()
+        }
+        target = lineno + 1 if match.group("next") else lineno
+        suppressions.setdefault(target, set()).update(rules)
     return suppressions
 
 
@@ -84,20 +94,50 @@ def lint_source(source: str, path: str) -> list[Finding]:
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
-    """Expand files and directories into the .py files to lint."""
+    """Expand files and directories into the .py files to lint.
+
+    Overlapping arguments (``src src/repro``, a file listed twice, a file
+    inside an already-given directory) yield each file exactly once, keyed
+    by resolved path; the first spelling encountered is the one yielded.
+    """
+    seen: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
         elif path.suffix == ".py":
-            yield path
+            candidates = (path,)
         else:
             raise LintConfigurationError(f"not a python file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
 
 
 def lint_paths(paths: Sequence[str | Path]) -> list[Finding]:
-    """Lint every python file reachable from ``paths``."""
+    """Lint every python file reachable from ``paths``.
+
+    A file that cannot be read (permissions, vanished mid-walk) or is not
+    UTF-8 text produces an ``E001`` finding instead of an unhandled
+    traceback, so one bad file cannot take down a whole CI lint sweep.
+    """
     findings: list[Finding] = []
     for file_path in iter_python_files(paths):
-        findings.extend(lint_source(file_path.read_text(), str(file_path)))
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=1,
+                    column=0,
+                    rule_id="E001",
+                    message=f"file could not be read as UTF-8 text: {error}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, str(file_path)))
     return findings

@@ -1,4 +1,4 @@
-"""The frfc-lint rules (D001-D005).
+"""The frfc-lint rules (D001-D007).
 
 These are *simulator-specific* checks: each one fences off a class of bug
 that has silently corrupted cycle-accurate models in practice.
@@ -21,9 +21,20 @@ D004   No mutable default arguments.  A shared default list/dict aliases
 D005   Public functions in ``core/``, ``sim/``, and ``baselines/`` must be
        fully type-annotated (every parameter and the return type), keeping
        the ``mypy --strict`` gate airtight where the flit accounting lives.
+D006   No reaching into another object's private state.  Writing
+       ``other._x`` (or reading a ``Link``'s pipeline internals outside
+       ``sim/link.py``) bypasses the API that keeps cross-router coupling
+       inside Link pipeline stages, the invariant the whole cycle model
+       rests on.
+D007   No same-cycle cross-actor races in a network ``step()`` phase loop:
+       the per-file slice of the :mod:`repro.analysis.phases` detector.
+       Flags writes to shared state and non-API channel access inside a
+       phase loop when the model's actor classes live in the same file;
+       the whole-model pass runs as ``frfc_analyze races``.
 =====  ======================================================================
 
-Any rule can be silenced on a single line with ``# frfc-lint: disable=Dxxx``.
+Any rule can be silenced on a single line with ``# frfc-lint: disable=Dxxx``
+or on the following line with ``# frfc-lint: disable-next-line=Dxxx``.
 """
 
 from __future__ import annotations
@@ -291,6 +302,89 @@ class PublicFunctionsAnnotated(Rule):
         return missing
 
 
+class NoForeignPrivateState(Rule):
+    """D006: another object's underscore attributes are not your state."""
+
+    rule_id = "D006"
+    summary = "access to another object's private (underscore) state"
+
+    #: Link's pipeline internals; reading them outside sim/link.py couples
+    #: an observer to sub-cycle link state the pipeline API hides.
+    LINK_PRIVATE_NAMES = frozenset({"_slots", "_sent_this_cycle", "_last_send_cycle"})
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        in_link_module = Path(path).name == "link.py" and "sim" in Path(path).parts
+        for node in ast.walk(tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                yield from self._check_write(target, path)
+            if (
+                not in_link_module
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and node.attr in self.LINK_PRIVATE_NAMES
+                and not self._receiver_is_self(node)
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"read of Link pipeline internals `{node.attr}`; use the "
+                    "Link API (send/receive/capacity_remaining/in_flight) or "
+                    "suppress with a justification",
+                )
+
+    def _check_write(self, target: ast.expr, path: str) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_write(element, path)
+        elif isinstance(target, ast.Starred):
+            yield from self._check_write(target.value, path)
+        elif (
+            isinstance(target, ast.Attribute)
+            and target.attr.startswith("_")
+            and not self._receiver_is_self(target)
+        ):
+            yield self.finding(
+                path,
+                target,
+                f"write to private attribute `{target.attr}` of another "
+                "object; go through its public API so cross-object coupling "
+                "stays visible",
+            )
+
+    @staticmethod
+    def _receiver_is_self(node: ast.Attribute) -> bool:
+        return isinstance(node.value, ast.Name) and node.value.id in ("self", "cls")
+
+
+class NoPhaseRaces(Rule):
+    """D007: a step() phase loop must be actor-order-independent."""
+
+    rule_id = "D007"
+    summary = "same-cycle cross-actor race in a network step() phase loop"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        # Imported lazily: the analyzer lives in repro.analysis, which pulls
+        # in the network models; plain lint runs should not pay that unless
+        # a file actually gets here.
+        from repro.analysis.phases import analyze_module_ast
+
+        for hazard in analyze_module_ast(tree, path):
+            yield Finding(
+                path=path,
+                line=hazard.line,
+                column=0,
+                rule_id=self.rule_id,
+                message=f"[{hazard.phase}] {hazard.message} (via {hazard.location})",
+            )
+
+
 #: Every rule the engine runs, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     NoAmbientNondeterminism(),
@@ -298,4 +392,6 @@ ALL_RULES: tuple[Rule, ...] = (
     ErrorsCarryMessages(),
     NoMutableDefaults(),
     PublicFunctionsAnnotated(),
+    NoForeignPrivateState(),
+    NoPhaseRaces(),
 )

@@ -349,14 +349,19 @@ class InvariantChecker:
                             f"[0, {config.buffers_per_vc}]",
                             node=node, port=port, cycle=now,
                         )
+                    # The conservation audit must see in-flight items without
+                    # draining them, which the Link API cannot offer (receive
+                    # is destructive) -- the one sanctioned pipeline peek.
                     flits_on_wire = sum(
                         1
+                        # frfc-lint: disable-next-line=D006
                         for slot in data_link._slots
                         for sent_vc, _ in slot
                         if sent_vc == vc
                     )
                     credits_on_wire = sum(
                         1
+                        # frfc-lint: disable-next-line=D006
                         for slot in credit_link._slots
                         for sent_vc in slot
                         if sent_vc == vc

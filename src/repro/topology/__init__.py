@@ -20,6 +20,7 @@ from repro.topology.mesh import (
 from repro.topology.routing import (
     DimensionOrderRouting,
     RoutingFunction,
+    RoutingLoopError,
     route_path,
 )
 
@@ -32,6 +33,7 @@ __all__ = [
     "NORTH",
     "PORT_NAMES",
     "RoutingFunction",
+    "RoutingLoopError",
     "SOUTH",
     "WEST",
     "opposite_port",

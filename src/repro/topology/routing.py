@@ -54,14 +54,37 @@ class DimensionOrderRouting:
         return self._table[node][destination]
 
 
+class RoutingLoopError(ValueError):
+    """A routing function revisited a node, so the packet can never arrive.
+
+    Carries the offending ``cycle`` (the node sequence from the first visit
+    of the repeated node back to itself) so analysis tools -- notably the
+    channel-dependency-graph builder in :mod:`repro.analysis.cdg` -- can
+    report the exact livelock instead of a generic hop-count overflow.
+    """
+
+    def __init__(self, src: int, dst: int, cycle: list[int]) -> None:
+        loop = " -> ".join(str(node) for node in cycle)
+        super().__init__(
+            f"routing loop between {src} and {dst}: packet revisits node "
+            f"{cycle[-1]} via {loop}"
+        )
+        self.src = src
+        self.dst = dst
+        self.cycle = cycle
+
+
 def route_path(routing: RoutingFunction, mesh: Mesh2D, src: int, dst: int) -> list[int]:
     """The full node sequence a packet visits from ``src`` to ``dst``.
 
     Used by tests and analysis tools; the simulators themselves route hop by
-    hop.  Raises if the routing function livelocks (visits more nodes than
-    exist).
+    hop.  A deterministic routing function that revisits any node can never
+    deliver the packet, so the walk keeps a visited set and raises
+    :class:`RoutingLoopError` naming the exact node cycle on the first
+    revisit, rather than only after ``num_nodes`` hops.
     """
     path = [src]
+    visited = {src}
     node = src
     while node != dst:
         port = routing.output_port(node, dst)
@@ -71,7 +94,9 @@ def route_path(routing: RoutingFunction, mesh: Mesh2D, src: int, dst: int) -> li
                 f"routing sent a packet off the mesh edge at node {node} port {port}"
             )
         node = next_node
+        if node in visited:
+            cycle = path[path.index(node) :] + [node]
+            raise RoutingLoopError(src, dst, cycle)
+        visited.add(node)
         path.append(node)
-        if len(path) > mesh.num_nodes:
-            raise ValueError(f"routing loop detected between {src} and {dst}")
     return path

@@ -1,0 +1,60 @@
+"""Tests for the frfc-analyze command line (tools/frfc_analyze.py)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def cli():
+    """Import tools/frfc_analyze.py by file path (tools/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "frfc_analyze_cli", REPO / "tools" / "frfc_analyze.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCdgCommand:
+    def test_self_check_passes(self, cli, capsys):
+        assert cli.main(["cdg", "--mesh", "4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: xy is deadlock-free" in out
+        assert "OK: yx-mixed is deadlock-prone" in out
+        assert "OK: adaptive-noescape is deadlock-prone" in out
+
+    def test_single_clean_routing_exit_zero(self, cli, capsys):
+        assert cli.main(["cdg", "--routing", "xy", "--mesh", "4x4"]) == 0
+
+    def test_single_broken_routing_exit_one(self, cli, capsys):
+        assert cli.main(["cdg", "--routing", "yx-mixed", "--mesh", "4x4"]) == 1
+        assert "DEADLOCK" in capsys.readouterr().out
+
+    def test_bad_mesh_spec_rejected(self, cli):
+        with pytest.raises(SystemExit):
+            cli.main(["cdg", "--mesh", "wide"])
+
+
+class TestRacesCommand:
+    def test_shipped_networks_clean_exit_zero(self, cli, capsys):
+        assert cli.main(["races"]) == 0
+        out = capsys.readouterr().out
+        for label in ("FR", "VC", "WH"):
+            assert label in out
+
+    def test_single_model_spec(self, cli, capsys):
+        assert cli.main(["races", "--model", "repro.core.network:FRNetwork"]) == 0
+
+    def test_bad_model_spec_rejected(self, cli):
+        with pytest.raises(SystemExit):
+            cli.main(["races", "--model", "no-colon-here"])
+
+
+class TestPermuteCommand:
+    def test_bit_identical_exit_zero(self, cli, capsys):
+        assert cli.main(["permute", "--orders", "3", "--cycles", "120"]) == 0
+        assert "bit-identical" in capsys.readouterr().out

@@ -26,19 +26,20 @@ import pytest
 
 from repro.core.config import FRConfig
 from repro.core.network import FRNetwork
+from repro.sim.invariants import InvariantChecker
 from repro.sim.kernel import Simulator
 from repro.topology.mesh import Mesh2D
 from repro.traffic.packet import Packet
 
 
-def single_packet_latency(config, length):
+def single_packet_latency(config, length, checker=None):
     mesh = Mesh2D(2, 2)
     network = FRNetwork(config, mesh=mesh, injection_rate=0.5, seed=1)
     network.stop_injection()
     packet = Packet(1, source=0, destination=3, length=length, creation_cycle=0)
     network.packets_in_flight[1] = packet
     network.interfaces[0].enqueue(packet)
-    Simulator(network).run_until(lambda: packet.delivered, deadline=200)
+    Simulator(network, checker=checker).run_until(lambda: packet.delivered, deadline=200)
     return packet.latency
 
 
@@ -60,6 +61,17 @@ class TestGoldenLatencies:
         assert latencies[1] - latencies[0] == 1
         assert latencies[2] - latencies[1] == 1
 
+    def test_golden_latencies_unchanged_under_invariant_checker(self):
+        """The checker is a pure observer: running sanitized must reproduce
+        the pinned latencies cycle-exactly for every golden case."""
+        cases = [
+            (FRConfig(data_buffers_per_input=4), 1, 10),
+            (FRConfig(data_buffers_per_input=6), 5, 15),
+            (FRConfig(data_buffers_per_input=6).with_leading_control(1), 5, 11),
+        ]
+        for config, length, expected in cases:
+            assert single_packet_latency(config, length, InvariantChecker()) == expected
+
     def test_independent_of_seed(self):
         """A lone packet meets no contention, so arbitration draws are moot."""
         mesh = Mesh2D(2, 2)
@@ -78,3 +90,40 @@ class TestGoldenLatencies:
             Simulator(network).run_until(lambda: packet.delivered, deadline=200)
             results.add(packet.latency)
         assert results == {10}
+
+
+class TestInvariantCheckerIsPureObserver:
+    """Loaded seeded runs of all three networks produce bit-identical
+    end-of-run digests with and without the per-cycle invariant sweep."""
+
+    CYCLES = 200
+
+    def _digest(self, config, check_invariants):
+        from repro.analysis.permute import digest_network
+        from repro.harness.experiment import build_network
+
+        network = build_network(config, 0.3, packet_length=5, seed=3, mesh=Mesh2D(4, 4))
+        network.set_measure_window(0, self.CYCLES)
+        checker = InvariantChecker() if check_invariants else None
+        Simulator(network, checker=checker).step(self.CYCLES)
+        return digest_network(network, self.CYCLES, "golden")
+
+    def _assert_checker_invisible(self, config):
+        plain = self._digest(config, check_invariants=False)
+        sanitized = self._digest(config, check_invariants=True)
+        assert plain.diff_fields(sanitized) == []
+        assert plain.hexdigest() == sanitized.hexdigest()
+        assert plain.packets_delivered > 0  # guard against a vacuous pass
+
+    def test_fr_run_identical_under_checker(self):
+        assert self._assert_checker_invisible(FRConfig()) is None
+
+    def test_vc_run_identical_under_checker(self):
+        from repro.baselines.vc.config import VC8
+
+        assert self._assert_checker_invisible(VC8) is None
+
+    def test_wormhole_run_identical_under_checker(self):
+        from repro.baselines.wormhole.network import WormholeConfig
+
+        assert self._assert_checker_invisible(WormholeConfig()) is None

@@ -337,6 +337,145 @@ class TestD005PublicFunctionsAnnotated:
         assert findings == []
 
 
+class TestD006ForeignPrivateState:
+    def test_write_to_other_objects_private_attr_flagged(self):
+        findings = lint(
+            """
+            def poke(other):
+                other._count = 1
+            """
+        )
+        assert rule_ids(findings) == ["D006"]
+
+    def test_augassign_flagged(self):
+        findings = lint(
+            """
+            def poke(other):
+                other._count += 1
+            """
+        )
+        assert rule_ids(findings) == ["D006"]
+
+    def test_write_to_own_private_attr_clean(self):
+        findings = lint(
+            """
+            class Router:
+                def reset(self):
+                    self._count = 0
+            """
+        )
+        assert findings == []
+
+    def test_link_pipeline_read_flagged_outside_link_module(self):
+        findings = lint(
+            """
+            def peek(link):
+                return list(link._slots)
+            """
+        )
+        assert rule_ids(findings) == ["D006"]
+        assert "_slots" in findings[0].message
+
+    def test_link_pipeline_read_clean_inside_link_module(self):
+        findings = lint(
+            """
+            def peek(link: object) -> list:
+                return list(link._slots)
+            """,
+            path="src/repro/sim/link.py",
+        )
+        assert findings == []
+
+    def test_public_attr_write_clean(self):
+        findings = lint(
+            """
+            def poke(other):
+                other.count = 1
+            """
+        )
+        assert findings == []
+
+    def test_suppressed_with_next_line_marker(self):
+        findings = lint(
+            """
+            def peek(link):
+                # frfc-lint: disable-next-line=D006 -- sanctioned peek
+                return list(link._slots)
+            """
+        )
+        assert findings == []
+
+
+class TestD007PhaseRaces:
+    RACY = """
+    class RacyRouter:
+        def __init__(self, node, board):
+            self.node = node
+            self.board = board
+
+        def phase(self, cycle):
+            self.board[self.node] = cycle
+
+    class RacyNetwork:
+        def __init__(self, n):
+            board = {}
+            self.routers = [RacyRouter(k, board) for k in range(n)]
+
+        def step(self, cycle):
+            for router in self.routers:
+                router.phase(cycle)
+    """
+
+    def test_shared_write_in_phase_loop_flagged(self):
+        findings = lint(self.RACY)
+        assert rule_ids(findings) == ["D007"]
+        assert "board" in findings[0].message
+
+    def test_finding_names_the_phase(self):
+        findings = lint(self.RACY)
+        assert "phase" in findings[0].message
+
+    def test_owned_state_clean(self):
+        findings = lint(
+            """
+            class Router:
+                def __init__(self, node):
+                    self.node = node
+                    self.queue = []
+
+                def phase(self, cycle):
+                    self.queue.append(cycle)
+
+            class Network:
+                def __init__(self, n):
+                    self.routers = [Router(k) for k in range(n)]
+
+                def step(self, cycle):
+                    for router in self.routers:
+                        router.phase(cycle)
+            """
+        )
+        assert findings == []
+
+    def test_model_with_imported_actor_classes_skipped(self):
+        """Single-file mode only judges models it can fully resolve; the
+        whole-model `frfc_analyze races` pass covers the rest."""
+        findings = lint(
+            """
+            from elsewhere import Router
+
+            class Network:
+                def __init__(self, n):
+                    self.routers = [Router(k) for k in range(n)]
+
+                def step(self, cycle):
+                    for router in self.routers:
+                        router.phase(cycle)
+            """
+        )
+        assert findings == []
+
+
 class TestEngine:
     def test_disable_all(self):
         findings = lint("import random  # frfc-lint: disable=all\n")
@@ -384,8 +523,46 @@ class TestEngine:
             "D003",
             "D004",
             "D005",
+            "D006",
+            "D007",
         ]
         assert all(rule.summary for rule in ALL_RULES)
+
+    def test_disable_next_line(self):
+        findings = lint(
+            """
+            # frfc-lint: disable-next-line=D001 -- sanctioned wrapper
+            import random
+            """
+        )
+        assert findings == []
+
+    def test_disable_next_line_is_line_scoped(self):
+        findings = lint(
+            """
+            # frfc-lint: disable-next-line=D001
+            import random
+            import random as r2
+            """
+        )
+        assert rule_ids(findings) == ["D001"]
+
+    def test_disable_next_line_wrong_rule_does_not_suppress(self):
+        findings = lint(
+            """
+            # frfc-lint: disable-next-line=D002
+            import random
+            """
+        )
+        assert rule_ids(findings) == ["D001"]
+
+    def test_both_spellings_in_suppression_table(self):
+        table = suppressed_rules_by_line(
+            "a = 1  # frfc-lint: disable=D001\n"
+            "# frfc-lint: disable-next-line=D002,D003\n"
+            "b = 2\n"
+        )
+        assert table == {1: {"D001"}, 3: {"D002", "D003"}}
 
     def test_iter_python_files_rejects_non_python(self, tmp_path):
         target = tmp_path / "notes.txt"
@@ -399,6 +576,32 @@ class TestEngine:
         (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
         findings = lint_paths([tmp_path])
         assert rule_ids(findings) == ["D001"]
+
+    def test_iter_python_files_dedupes_overlapping_paths(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        target = tmp_path / "pkg" / "mod.py"
+        target.write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "pkg", target, target]))
+        assert len(files) == 1
+
+    def test_overlapping_paths_report_findings_once(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        findings = lint_paths([tmp_path, bad])
+        assert rule_ids(findings) == ["D001"]
+
+    def test_non_utf8_file_reported_as_e001(self, tmp_path):
+        mojibake = tmp_path / "mojibake.py"
+        mojibake.write_bytes(b"x = 1  # \xff\xfe caf\xe9\n")
+        findings = lint_paths([tmp_path])
+        assert rule_ids(findings) == ["E001"]
+        assert "UTF-8" in findings[0].message
+
+    def test_one_bad_file_does_not_stop_the_sweep(self, tmp_path):
+        (tmp_path / "mojibake.py").write_bytes(b"\xff\xfe\x00")
+        (tmp_path / "ok_but_bad.py").write_text("import random\n")
+        findings = lint_paths([tmp_path])
+        assert sorted(rule_ids(findings)) == ["D001", "E001"]
 
 
 class TestRepositoryIsClean:
@@ -425,5 +628,5 @@ class TestCommandLine:
         cli = load_cli()
         assert cli.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D001", "D002", "D003", "D004", "D005"):
+        for rule_id in ("D001", "D002", "D003", "D004", "D005", "D006", "D007"):
             assert rule_id in out

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.topology.mesh import EAST, EJECT, NORTH, SOUTH, WEST, Mesh2D
-from repro.topology.routing import DimensionOrderRouting, route_path
+from repro.topology.routing import (
+    DimensionOrderRouting,
+    RoutingLoopError,
+    route_path,
+)
 
 
 @pytest.fixture
@@ -59,6 +63,38 @@ class TestPaths:
             directions.append("x" if ax != bx else "y")
         # All x-moves precede all y-moves.
         assert directions == sorted(directions, key=lambda d: d != "x")
+
+
+class TestRoutingLoopDetection:
+    class BouncingRouting:
+        """Sends every non-delivered packet east/west forever."""
+
+        def __init__(self, mesh):
+            self.mesh = mesh
+
+        def output_port(self, node, destination):
+            if node == destination:
+                return EJECT
+            return EAST if node % self.mesh.width == 0 else WEST
+
+    def test_revisit_raises_immediately_with_node_cycle(self, mesh4):
+        routing = self.BouncingRouting(mesh4)
+        with pytest.raises(RoutingLoopError) as excinfo:
+            route_path(routing, mesh4, 0, 3)
+        error = excinfo.value
+        assert error.src == 0
+        assert error.dst == 3
+        # The cycle closes on the revisited node and names it in the message.
+        assert error.cycle[-1] in error.cycle[:-1]
+        assert str(error.cycle[-1]) in str(error)
+
+    def test_detection_does_not_wait_for_hop_count_overflow(self, mesh4):
+        """The walk raises on the first revisit: the reported cycle is the
+        two-node bounce, not a num_nodes-hop trek."""
+        routing = self.BouncingRouting(mesh4)
+        with pytest.raises(RoutingLoopError) as excinfo:
+            route_path(routing, mesh4, 0, 3)
+        assert len(excinfo.value.cycle) <= 3
 
 
 class TestDeadlockFreedom:
