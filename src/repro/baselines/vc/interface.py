@@ -61,7 +61,7 @@ class VCNodeInterface:
             return
         flit = self._pending.popleft()
         self._credits[vc] -= 1
-        self.router.accept_flit(INJECT, vc, flit)
+        self.router.accept_flit(INJECT, vc, flit, cycle)
         if not self._pending:
             self._owned[vc] = False
             self._inject_vc = -1

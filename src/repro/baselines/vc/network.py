@@ -112,12 +112,26 @@ class VCNetwork(NetworkModel):
         for node in self.eval_order:
             self.routers[node].route_and_allocate(cycle)
         if self.occupancy is not None:
-            self._sample_occupancy()
+            self._sample_occupancy(cycle)
 
-    def _sample_occupancy(self) -> None:
+    def _sample_occupancy(self, cycle: int) -> None:
         """Track the west input of the chosen router, as in Section 4.2's
         'specific buffer pool of a router in the middle of the mesh'."""
         from repro.topology.mesh import WEST
 
         router = self.routers[self._occupancy_node]
-        self.occupancy.record(min(router.buffered_flits(WEST), self.occupancy.pool_size))
+        self.occupancy.record(
+            min(router.buffered_flits(WEST), self.occupancy.pool_size), cycle
+        )
+
+    def track_occupancy(self, node: int) -> OccupancyTracker:
+        """Start tracking ``node``'s west input pool, mid-run safe.
+
+        Sampling begins at the end of the next executed cycle; the
+        cycle-stamped :meth:`OccupancyTracker.record` guarantees the attach
+        boundary cycle is never counted twice.
+        """
+        if self.occupancy is None or self._occupancy_node != node:
+            self.occupancy = OccupancyTracker(self.config.buffers_per_input)
+            self._occupancy_node = node
+        return self.occupancy

@@ -66,6 +66,11 @@ class VCRouter:
         self.connected_outputs: list[int] = []
         # Set by the network: called with (vc,) when a local-input flit leaves.
         self.ni_credit: Optional[Callable[[int], None]] = None
+        # Observability hooks (pure observers; arbitration never consults
+        # them).  Arrival: (flit, port, vc, cycle); forward: (flit, in port,
+        # in vc, out port, cycle), ejections included.
+        self.on_flit_arrival: Optional[Callable[[VCFlit, int, int, int], None]] = None
+        self.on_flit_forward: Optional[Callable[[VCFlit, int, int, int, int], None]] = None
         # Diagnostics.
         self.flits_forwarded = 0
 
@@ -146,6 +151,8 @@ class VCRouter:
         flit = self.in_queues[port][vc].popleft()
         self.pool_occupancy[port] -= 1
         self.flits_forwarded += 1
+        if self.on_flit_forward is not None:
+            self.on_flit_forward(flit, port, vc, out_port, cycle)
         if out_port == EJECT:
             self.eject(flit, cycle)
         else:
@@ -174,10 +181,14 @@ class VCRouter:
             if link is None:
                 continue
             for out_vc, flit in link.receive(cycle):
-                self.accept_flit(port, out_vc, flit)
+                self.accept_flit(port, out_vc, flit, cycle)
 
-    def accept_flit(self, port: int, vc: int, flit: VCFlit) -> None:
-        """Insert one flit into an input VC queue, checking buffer bounds."""
+    def accept_flit(self, port: int, vc: int, flit: VCFlit, cycle: int = -1) -> None:
+        """Insert one flit into an input VC queue, checking buffer bounds.
+
+        ``cycle`` only feeds the observability hook (``-1`` marks callers
+        outside the clocked phases, e.g. test setup).
+        """
         queue = self.in_queues[port][vc]
         if self.config.buffer_sharing == "private":
             if len(queue) >= self.config.buffers_per_vc:
@@ -192,6 +203,8 @@ class VCRouter:
             )
         queue.append(flit)
         self.pool_occupancy[port] += 1
+        if self.on_flit_arrival is not None:
+            self.on_flit_arrival(flit, port, vc, cycle)
 
     def route_and_allocate(self, cycle: int) -> None:
         """Route new head flits and allocate output virtual channels."""

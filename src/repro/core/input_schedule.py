@@ -22,6 +22,8 @@ turnaround time to zero.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.core.buffer_pool import BufferPool, IntervalBookkeeper
 from repro.core.flits import DataFlit
 
@@ -43,6 +45,9 @@ class InputScheduler:
         # read ports (paper footnote 7).
         self.port_uses: dict[int, int] = {}
         self.bookkeeper = IntervalBookkeeper(pool_size) if track_transfers else None
+        # Observability hook: ("alloc"|"free", cycle, occupied-after).  Pure
+        # observer -- the scheduler never consults it.
+        self.on_buffer_event: Optional[Callable[[str, int, int], None]] = None
         # Diagnostics.
         self.flits_bypassed = 0
         self.flits_buffered = 0
@@ -99,7 +104,13 @@ class InputScheduler:
         entries = self.departures.pop(now, None)
         if not entries:
             return []
-        return [(self.pool.release(buffer_index), out_port) for buffer_index, out_port in entries]
+        released = [
+            (self.pool.release(buffer_index), out_port) for buffer_index, out_port in entries
+        ]
+        if self.on_buffer_event is not None:
+            for _ in released:
+                self.on_buffer_event("free", now, self.pool.occupied)
+        return released
 
     def on_arrival(self, now: int, flit: DataFlit) -> int | None:
         """Handle a data flit arriving this cycle.
@@ -115,6 +126,8 @@ class InputScheduler:
             self.schedule_list[now] = buffer_index
             self.early_arrivals += 1
             self.flits_buffered += 1
+            if self.on_buffer_event is not None:
+                self.on_buffer_event("alloc", now, self.pool.occupied)
             return None
         departure, out_port = reservation
         if departure == now:
@@ -123,6 +136,8 @@ class InputScheduler:
         buffer_index = self.pool.allocate(flit)
         self.departures.setdefault(departure, []).append((buffer_index, out_port))
         self.flits_buffered += 1
+        if self.on_buffer_event is not None:
+            self.on_buffer_event("alloc", now, self.pool.occupied)
         return None
 
     @property

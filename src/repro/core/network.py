@@ -158,13 +158,25 @@ class FRNetwork(NetworkModel):
         for node in self.eval_order:
             self.routers[node].data_arrivals(cycle)
         if self.occupancy is not None:
-            self._sample_occupancy()
+            self._sample_occupancy(cycle)
 
-    def _sample_occupancy(self) -> None:
+    def _sample_occupancy(self, cycle: int) -> None:
         from repro.topology.mesh import WEST
 
         router = self.routers[self._occupancy_node]
-        self.occupancy.record(router.buffered_flits(WEST))
+        self.occupancy.record(router.buffered_flits(WEST), cycle)
+
+    def track_occupancy(self, node: int) -> OccupancyTracker:
+        """Start tracking ``node``'s west input pool, mid-run safe.
+
+        Sampling begins at the end of the next executed cycle; the
+        cycle-stamped :meth:`OccupancyTracker.record` guarantees the attach
+        boundary cycle is never counted twice.
+        """
+        if self.occupancy is None or self._occupancy_node != node:
+            self.occupancy = OccupancyTracker(self.config.data_buffers_per_input)
+            self._occupancy_node = node
+        return self.occupancy
 
     # -- diagnostics ----------------------------------------------------------------
 

@@ -99,6 +99,10 @@ class OutputReservationTable:
 
     # -- queries ---------------------------------------------------------------
 
+    def busy_slots(self) -> int:
+        """Reserved slots currently in the window (table pressure metric)."""
+        return sum(self._busy)
+
     def is_busy(self, cycle: int) -> bool:
         """Whether the channel is reserved during an in-window cycle."""
         self._check_in_window(cycle)

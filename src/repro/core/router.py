@@ -103,10 +103,15 @@ class FRRouter:
         # NI callbacks (on-node wiring, no link delay), set by the network.
         self.ni_advance_credit: Optional[Callable[[int, int], None]] = None
         self.ni_control_credit: Optional[Callable[[int], None]] = None
-        # Observability hook: called for every data flit arrival (stats only;
-        # routing never looks at flit contents).
+        # Observability hooks (stats/tracing only; routing never consults
+        # them).  Grant: (control flit, data-flit index, out port, departure,
+        # cycle); deny: (control flit, out port, cycle); credit return:
+        # ("control"|"advance", port, vc-or-free-from-cycle, cycle).
         self.on_data_arrival: Optional[Callable[[DataFlit, int, int], None]] = None
         self.on_control_arrival: Optional[Callable[[ControlFlit, int, int], None]] = None
+        self.on_reservation_grant: Optional[Callable[[ControlFlit, int, int, int, int], None]] = None
+        self.on_reservation_deny: Optional[Callable[[ControlFlit, int, int], None]] = None
+        self.on_credit_return: Optional[Callable[[str, int, int, int], None]] = None
         # Diagnostics.
         self.schedule_stalls = 0
         self.forward_stalls = 0
@@ -295,6 +300,8 @@ class FRRouter:
         if out_port == EJECT:
             if not self._schedule_data_flits(port, flit, out_port, now):
                 self.schedule_stalls += 1
+                if self.on_reservation_deny is not None:
+                    self.on_reservation_deny(flit, out_port, now)
                 return "stall"
             return "done"
         # Secure the onward journey before committing any reservation.
@@ -315,6 +322,8 @@ class FRRouter:
             return "stall"
         if not self._schedule_data_flits(port, flit, out_port, now):
             self.schedule_stalls += 1
+            if self.on_reservation_deny is not None:
+                self.on_reservation_deny(flit, out_port, now)
             if self.config.scheduling_policy == "per_flit" and any(flit.scheduled):
                 return self._split_and_forward(port, vc, flit, entry, out_vc, now)
             return "stall"
@@ -430,6 +439,10 @@ class FRRouter:
             self.ni_advance_credit(now, credit_from)
         else:
             self.adv_credit_out[port].send(credit_from, now)
+        if self.on_reservation_grant is not None:
+            self.on_reservation_grant(flit, i, out_port, departure, now)
+        if self.on_credit_return is not None:
+            self.on_credit_return("advance", port, credit_from, now)
         flit.scheduled[i] = True
         if out_port == EJECT:
             flit.arrival_times[i] = departure
@@ -474,6 +487,8 @@ class FRRouter:
             self.ni_control_credit(vc)
         else:
             self.ctrl_credit_out[port].send(vc, now)
+        if self.on_credit_return is not None:
+            self.on_credit_return("control", port, vc, now)
 
     # -- data plane ---------------------------------------------------------------
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Union
+from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.baselines.vc.config import VCConfig
 from repro.baselines.vc.network import VCNetwork
@@ -29,6 +29,9 @@ from repro.sim.netbase import NetworkModel
 from repro.stats.warmup import WarmupDetector
 from repro.topology.mesh import Mesh2D
 from repro.traffic.patterns import TrafficPattern
+
+if TYPE_CHECKING:
+    from repro.obs.session import ObsSession
 
 AnyConfig = Union[VCConfig, FRConfig, WormholeConfig]
 
@@ -113,6 +116,7 @@ def run_experiment(
     traffic: str | TrafficPattern = "uniform",
     injection_process: str = "periodic",
     check_invariants: bool = False,
+    obs: Optional["ObsSession"] = None,
     **network_kwargs: Any,
 ) -> ExperimentResult:
     """Warm up, sample, drain, and report one (config, load) point.
@@ -120,6 +124,9 @@ def run_experiment(
     With ``check_invariants`` the run is *sanitized*: an
     :class:`~repro.sim.invariants.InvariantChecker` verifies the network's
     conservation laws after every cycle and aborts on the first violation.
+    With ``obs`` the run is *observed*: the session's probe and metrics
+    sampler attach before warm-up and its profiler splits wall time into
+    warmup/sample/drain; the caller finalizes artifacts afterwards.
     """
     preset = get_preset(preset)
     mesh = mesh or Mesh2D(8, 8)
@@ -134,12 +141,29 @@ def run_experiment(
         **network_kwargs,
     )
     checker = InvariantChecker() if check_invariants else None
-    simulator = Simulator(network, checker=checker)
-    warmup_end = _warm_up(network, simulator, preset)
-    sample_end = warmup_end + preset.sample_cycles
-    network.set_measure_window(warmup_end, sample_end)
-    simulator.step(preset.sample_cycles)
-    saturated = not _drain(network, simulator, deadline=sample_end + preset.drain_cycles)
+    if obs is not None:
+        obs.attach(network)
+        simulator = Simulator(
+            network, checker=checker, observers=obs.observers, profiler=obs.profiler
+        )
+        obs.enter_phase("warmup")
+    else:
+        simulator = Simulator(network, checker=checker)
+    try:
+        warmup_end = _warm_up(network, simulator, preset)
+        sample_end = warmup_end + preset.sample_cycles
+        network.set_measure_window(warmup_end, sample_end)
+        if obs is not None:
+            obs.enter_phase("sample")
+        simulator.step(preset.sample_cycles)
+        if obs is not None:
+            obs.enter_phase("drain")
+        saturated = not _drain(
+            network, simulator, deadline=sample_end + preset.drain_cycles
+        )
+    finally:
+        if obs is not None:
+            obs.detach()
     return _collect(
         network,
         simulator,

@@ -12,14 +12,20 @@ Examples::
     frfc lead                       # Section 4.4 study
     frfc sweep FR6 --loads 0.1,0.5  # latency-throughput curve
     frfc trace FR6 --packet 3       # one packet's event timeline
+    frfc trace VC8 --packet 3       # works for every flow control scheme
     frfc utilization FR6 0.6        # per-channel busy fractions
+    frfc obs FR6 0.5 --preset quick --trace-out t.json --metrics-out m.csv \
+        --profile                   # fully observed run with exports
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.obs.session import ObsSession
 
 from repro.baselines.vc.config import VC8, VC16, VC32
 from repro.baselines.wormhole.network import WormholeConfig
@@ -76,6 +82,39 @@ def main(argv: list[str] | None = None) -> int:
         help="before running, prove the routing deadlock-free (CDG) and the "
         "network phase loops race-free (see docs/static-analysis.md)",
     )
+    obs_flags = parser.add_argument_group(
+        "observability", "exports for `obs` and `point` runs (docs/observability.md)"
+    )
+    obs_flags.add_argument(
+        "--trace-out", help="write a Perfetto-loadable Chrome trace-event JSON here"
+    )
+    obs_flags.add_argument(
+        "--metrics-out", help="write the sampled metrics timeseries CSV here"
+    )
+    obs_flags.add_argument("--events-out", help="write the raw JSONL event log here")
+    obs_flags.add_argument(
+        "--profile",
+        action="store_true",
+        help="measure simulator cycles/sec per phase and write BENCH_obs.json",
+    )
+    obs_flags.add_argument(
+        "--manifest-out",
+        default="obs_manifest.json",
+        help="run manifest path (config, preset, seed, git SHA)",
+    )
+    obs_flags.add_argument(
+        "--bench-out", default="BENCH_obs.json", help="self-profiling report path"
+    )
+    obs_flags.add_argument(
+        "--sample-every", type=int, default=100, help="metrics sampling cadence in cycles"
+    )
+    obs_flags.add_argument(
+        "--event-capacity",
+        type=int,
+        default=1_000_000,
+        help="keep at most this many events (oldest dropped first; the "
+        "manifest reports events_dropped when the bound is hit)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="storage overhead (analytical)")
@@ -91,6 +130,16 @@ def main(argv: list[str] | None = None) -> int:
     point.add_argument("config")
     point.add_argument("load", type=float)
     point.add_argument("--packet-length", type=int, default=5)
+    _add_run_flags(point)
+
+    obs = sub.add_parser(
+        "obs",
+        help="run one observed (config, load) experiment and export artifacts",
+    )
+    obs.add_argument("config")
+    obs.add_argument("load", type=float)
+    obs.add_argument("--packet-length", type=int, default=5)
+    _add_run_flags(obs)
 
     sat = sub.add_parser("saturate", help="find saturation throughput")
     sat.add_argument("config")
@@ -119,6 +168,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.analyze:
         _run_analysis_gates()
+    wants_obs = bool(
+        args.trace_out or args.metrics_out or args.events_out or args.profile
+    )
+    if wants_obs and args.command not in ("point", "obs"):
+        raise SystemExit(
+            "--trace-out/--metrics-out/--events-out/--profile apply to the "
+            "`obs` and `point` commands only"
+        )
     if args.command == "table1":
         print(format_table1(table1()))
     elif args.command == "table2":
@@ -139,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(result.format())
     elif args.command == "point":
+        session = _obs_session(args) if wants_obs else None
         result = run_experiment(
             _config(args.config),
             args.load,
@@ -146,8 +204,24 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             preset=args.preset,
             check_invariants=args.check_invariants,
+            obs=session,
         )
         print(result.summary())
+        if session is not None:
+            _finalize_obs(session, args, argv)
+    elif args.command == "obs":
+        session = _obs_session(args, defaults=True)
+        result = run_experiment(
+            _config(args.config),
+            args.load,
+            packet_length=args.packet_length,
+            seed=args.seed,
+            preset=args.preset,
+            check_invariants=args.check_invariants,
+            obs=session,
+        )
+        print(result.summary())
+        _finalize_obs(session, args, argv)
     elif args.command == "saturate":
         result = find_saturation(
             _config(args.config),
@@ -191,8 +265,74 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _add_run_flags(subparser: argparse.ArgumentParser) -> None:
+    """Let `point`/`obs` take the global run flags *after* the subcommand.
+
+    Defaults are suppressed so a flag given before the subcommand (the
+    historical position) is not clobbered by the subparser's default.
+    """
+    suppress = argparse.SUPPRESS
+    subparser.add_argument("--preset", default=suppress)
+    subparser.add_argument("--seed", type=int, default=suppress)
+    subparser.add_argument("--check-invariants", action="store_true", default=suppress)
+    subparser.add_argument("--trace-out", default=suppress)
+    subparser.add_argument("--metrics-out", default=suppress)
+    subparser.add_argument("--events-out", default=suppress)
+    subparser.add_argument("--profile", action="store_true", default=suppress)
+    subparser.add_argument("--manifest-out", default=suppress)
+    subparser.add_argument("--bench-out", default=suppress)
+    subparser.add_argument("--sample-every", type=int, default=suppress)
+    subparser.add_argument("--event-capacity", type=int, default=suppress)
+
+
 def _checker(args: argparse.Namespace) -> InvariantChecker | None:
     return InvariantChecker() if args.check_invariants else None
+
+
+def _obs_session(args: argparse.Namespace, defaults: bool = False) -> "ObsSession":
+    """Build the observability session the flags describe.
+
+    The ``obs`` subcommand (``defaults=True``) always produces a Chrome
+    trace, a metrics CSV, and a profile, so a bare ``frfc obs FR6 0.5``
+    yields the full artifact set; ``point`` exports only what was asked.
+    """
+    from repro.obs.session import ObsSession
+
+    trace_out = args.trace_out
+    metrics_out = args.metrics_out
+    profile = args.profile
+    if defaults:
+        trace_out = trace_out or "obs_trace.json"
+        metrics_out = metrics_out or "obs_metrics.csv"
+        profile = True
+    return ObsSession(
+        events_out=args.events_out,
+        trace_out=trace_out,
+        metrics_out=metrics_out,
+        profile=profile,
+        manifest_out=args.manifest_out,
+        bench_out=args.bench_out,
+        sample_every=args.sample_every,
+        capacity=args.event_capacity,
+    )
+
+
+def _finalize_obs(
+    session: "ObsSession", args: argparse.Namespace, argv: list[str] | None
+) -> None:
+    """Write the session's artifacts and report where they went."""
+    artifacts = session.finalize(
+        config=_config(args.config),
+        seed=args.seed,
+        preset=args.preset,
+        offered_load=args.load,
+        packet_length=args.packet_length,
+        command="frfc " + " ".join(argv if argv is not None else sys.argv[1:]),
+    )
+    for kind in sorted(artifacts):
+        print(f"  {kind}: {artifacts[kind]}")
+    if session.profiler is not None:
+        print(f"  simulator: {session.profiler.cycles_per_second:,.0f} cycles/sec")
 
 
 def _run_analysis_gates() -> None:
@@ -219,15 +359,13 @@ def _run_analysis_gates() -> None:
 
 
 def _trace(args: argparse.Namespace) -> str:
-    from repro.core.config import FRConfig
     from repro.harness.experiment import build_network
+    from repro.obs.trace import TraceLog
     from repro.sim.kernel import Simulator
-    from repro.sim.tracelog import TraceLog
 
-    config = _config(args.config)
-    if not isinstance(config, FRConfig):
-        raise SystemExit("tracing is available for flit-reservation configs only")
-    network = build_network(config, args.load, seed=args.seed)
+    # Tracing rides on the unified event bus, so every flow-control scheme
+    # (FR, VC, wormhole) can be traced.
+    network = build_network(_config(args.config), args.load, seed=args.seed)
     log = TraceLog().attach(network)
     Simulator(network, checker=_checker(args)).step(args.cycles)
     return log.format_packet(args.packet)

@@ -1,4 +1,4 @@
-"""The frfc-lint rules (D001-D007).
+"""The frfc-lint rules (D001-D008).
 
 These are *simulator-specific* checks: each one fences off a class of bug
 that has silently corrupted cycle-accurate models in practice.
@@ -31,6 +31,10 @@ D007   No same-cycle cross-actor races in a network ``step()`` phase loop:
        Flags writes to shared state and non-API channel access inside a
        phase loop when the model's actor classes live in the same file;
        the whole-model pass runs as ``frfc_analyze races``.
+D008   No direct ``print`` in simulator code.  Only the CLI front-ends may
+       write to stdout; everything else reports through return values,
+       exceptions, or the observability layer (:mod:`repro.obs`), so
+       library callers and the event exporters own the output stream.
 =====  ======================================================================
 
 Any rule can be silenced on a single line with ``# frfc-lint: disable=Dxxx``
@@ -73,6 +77,10 @@ MUTABLE_FACTORIES = frozenset(
 
 #: Subpackages whose public functions D005 requires to be fully annotated.
 ANNOTATED_SUBPACKAGES = frozenset({"core", "sim", "baselines"})
+
+#: Path suffixes (as ``/``-joined parts) of the CLI front-ends D008 exempts:
+#: the only modules in the package whose job is writing to stdout.
+CLI_MODULE_SUFFIXES = ("harness/runner.py",)
 
 
 def _dotted_name(node: ast.expr) -> str | None:
@@ -385,6 +393,33 @@ class NoPhaseRaces(Rule):
             )
 
 
+class NoPrintInSimulator(Rule):
+    """D008: only the CLI front-ends may write to stdout."""
+
+    rule_id = "D008"
+    summary = "direct print() in simulator code; only CLI modules own stdout"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        parts = Path(path).parts
+        if "repro" not in parts:
+            return  # tests, tools, and scripts print freely
+        posix = Path(path).as_posix()
+        if any(posix.endswith(suffix) for suffix in CLI_MODULE_SUFFIXES):
+            return
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    "print() in simulator code: return the value, raise, or "
+                    "emit through repro.obs; only CLI modules write to stdout",
+                )
+
+
 #: Every rule the engine runs, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     NoAmbientNondeterminism(),
@@ -394,4 +429,5 @@ ALL_RULES: tuple[Rule, ...] = (
     PublicFunctionsAnnotated(),
     NoForeignPrivateState(),
     NoPhaseRaces(),
+    NoPrintInSimulator(),
 )

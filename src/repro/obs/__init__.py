@@ -1,0 +1,54 @@
+"""Unified observability layer.
+
+Everything in this subpackage is a *pure observer* of the simulation: when
+nothing is attached the networks run exactly as before (digest-identical,
+see ``tests/obs/test_detached.py``), and when something is attached it may
+record but never influence a routing, scheduling, or arbitration decision.
+
+The layer has four parts:
+
+* :mod:`repro.obs.events` -- the typed event taxonomy and the
+  :class:`~repro.obs.events.EventBus` that fans events out to subscribers;
+* :mod:`repro.obs.probe` -- :class:`~repro.obs.probe.NetworkProbe`, which
+  wires one bus into a flit-reservation, virtual-channel, or wormhole
+  network through the routers' observability hooks (attach/detach);
+* :mod:`repro.obs.metrics` -- the :class:`~repro.obs.metrics.MetricsRegistry`
+  of counters, gauges, and per-cycle histograms with the built-in
+  channel-utilization / occupancy / stall / backpressure instruments;
+* :mod:`repro.obs.exporters` (+ :mod:`repro.obs.manifest`,
+  :mod:`repro.obs.profile`, :mod:`repro.obs.session`) -- JSONL, Chrome
+  trace-event, and CSV timeseries writers, the reproducibility manifest,
+  the simulator self-profiler behind ``BENCH_obs.json``, and the
+  :class:`~repro.obs.session.ObsSession` that the harness drives.
+
+See ``docs/observability.md`` for the event taxonomy, the metrics catalog,
+and a Perfetto walkthrough.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventBus,
+    EventCollector,
+    NetworkEvent,
+)
+from repro.obs.metrics import Counter, Gauge, CycleHistogram, MetricsRegistry
+from repro.obs.probe import NetworkProbe
+from repro.obs.profile import SimProfiler
+from repro.obs.session import ObsSession
+from repro.obs.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "EVENT_KINDS",
+    "Counter",
+    "CycleHistogram",
+    "EventBus",
+    "EventCollector",
+    "Gauge",
+    "MetricsRegistry",
+    "NetworkEvent",
+    "NetworkProbe",
+    "ObsSession",
+    "SimProfiler",
+    "TraceEvent",
+    "TraceLog",
+]

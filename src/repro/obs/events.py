@@ -1,0 +1,163 @@
+"""The typed event taxonomy and the event bus.
+
+Every observable occurrence in a network is a :class:`NetworkEvent`: a
+frozen record of *what* happened (``kind``), *where* (``node``, ``port``,
+``vc``), *to whom* (``packet_id``, ``flit_index``), and *when* (``cycle``).
+The taxonomy is shared by all three flow-control models so a VC run and an
+FR run can be compared event-for-event; kinds that only one model can
+produce (e.g. ``reservation_grant``) simply never appear in the other's
+stream.
+
+The :class:`EventBus` fans events out to subscribers.  It is designed for
+the *detached* case to cost nothing: networks only construct and emit
+events through hooks that are ``None`` until a
+:class:`~repro.obs.probe.NetworkProbe` installs them, so an unobserved run
+executes exactly the same instruction stream as before this layer existed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Callable, Iterator
+
+#: A control flit entered a router's control VC queue (FR only).  A cycle of
+#: ``-1`` marks the on-node injection hop from the NI.
+CONTROL_ARRIVAL = "control_arrival"
+#: A data flit reached a router input (FR) or a flit entered an input VC
+#: queue (VC/wormhole).
+DATA_ARRIVAL = "data_arrival"
+#: A flit left the network at its destination.
+DATA_EJECT = "data_eject"
+#: A flit won switch arbitration and traversed the crossbar (VC/wormhole).
+FLIT_FORWARD = "flit_forward"
+#: An output reservation table accepted a data flit's departure slot (FR).
+RESERVATION_GRANT = "reservation_grant"
+#: A control flit failed to schedule its data flits this cycle (FR).
+RESERVATION_DENY = "reservation_deny"
+#: A buffer credit went back upstream (control or advance credit in FR,
+#: per-VC credit in VC/wormhole).
+CREDIT_RETURN = "credit_return"
+#: A data buffer was allocated at an input pool.
+BUFFER_ALLOC = "buffer_alloc"
+#: A data buffer was released back to an input pool.
+BUFFER_FREE = "buffer_free"
+#: A source created a packet (all models).
+PACKET_CREATED = "packet_created"
+#: The last flit of a packet left the network (all models).
+PACKET_DELIVERED = "packet_delivered"
+
+#: Every kind the bus accepts, in documentation order.
+EVENT_KINDS: tuple[str, ...] = (
+    CONTROL_ARRIVAL,
+    DATA_ARRIVAL,
+    DATA_EJECT,
+    FLIT_FORWARD,
+    RESERVATION_GRANT,
+    RESERVATION_DENY,
+    CREDIT_RETURN,
+    BUFFER_ALLOC,
+    BUFFER_FREE,
+    PACKET_CREATED,
+    PACKET_DELIVERED,
+)
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One observed event.  Fields that do not apply to a kind stay at their
+    defaults and are omitted from the JSONL export."""
+
+    cycle: int
+    kind: str
+    node: int
+    packet_id: int = -1
+    port: int = -1
+    vc: int = -1
+    flit_index: int = -1
+    value: int = -1
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, int | str]:
+        """A compact dict: always cycle/kind/node, other fields when set."""
+        record: dict[str, int | str] = {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "node": self.node,
+        }
+        for field in fields(self):
+            if field.name in ("cycle", "kind", "node"):
+                continue
+            value = getattr(self, field.name)
+            if value != field.default:
+                record[field.name] = value
+        return record
+
+
+Subscriber = Callable[[NetworkEvent], None]
+
+
+class EventBus:
+    """Fans :class:`NetworkEvent` records out to per-kind subscribers."""
+
+    def __init__(self) -> None:
+        self._by_kind: dict[str, list[Subscriber]] = {}
+        self._all: list[Subscriber] = []
+        self.events_emitted = 0
+
+    def subscribe(self, kind: str, subscriber: Subscriber) -> None:
+        """Receive every event of one ``kind``."""
+        if kind not in EVENT_KINDS:
+            known = ", ".join(EVENT_KINDS)
+            raise ValueError(f"unknown event kind {kind!r}; known kinds: {known}")
+        self._by_kind.setdefault(kind, []).append(subscriber)
+
+    def subscribe_all(self, subscriber: Subscriber) -> None:
+        """Receive every event regardless of kind."""
+        self._all.append(subscriber)
+
+    def wants(self, kind: str) -> bool:
+        """Whether any subscriber would see an event of ``kind``.
+
+        Probes consult this so that a bus subscribed only to, say, ejections
+        does not pay for building reservation-table events.
+        """
+        return bool(self._all) or kind in self._by_kind
+
+    def emit(self, event: NetworkEvent) -> None:
+        """Deliver one event to its subscribers, in subscription order."""
+        self.events_emitted += 1
+        for subscriber in self._by_kind.get(event.kind, ()):
+            subscriber(event)
+        for subscriber in self._all:
+            subscriber(event)
+
+
+class EventCollector:
+    """A bounded in-order sink of events (the exporters' data source).
+
+    ``capacity`` bounds memory on long runs; the oldest events are dropped
+    first and ``dropped`` counts how many were lost, so an exporter can say
+    "log truncated" instead of silently presenting a partial history.
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"collector capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: deque[NetworkEvent] = deque(maxlen=capacity)
+        self.total_seen = 0
+
+    def __call__(self, event: NetworkEvent) -> None:
+        self.total_seen += 1
+        self.events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        return self.total_seen - len(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[NetworkEvent]:
+        return iter(self.events)

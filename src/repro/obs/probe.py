@@ -1,0 +1,435 @@
+"""Attach an event bus to a network model, uniformly across flow controls.
+
+A :class:`NetworkProbe` is the one piece of code that knows where each
+network's observability hooks live.  ``attach`` installs bus-emitting
+wrappers on those hooks (saving whatever was there, so stats hooks like the
+control-lead tracker keep working underneath); ``detach`` restores them
+exactly.  The probe never touches router *state* -- only the ``on_*``
+callback attributes and the ejection callables the models expose for
+observers -- so an attached probe cannot perturb a run (the golden-trace
+and digest tests pin this).
+
+Event coverage by model:
+
+========================  ====  =============
+kind                      FR    VC / wormhole
+========================  ====  =============
+``control_arrival``       yes   --
+``data_arrival``          yes   yes
+``data_eject``            yes   yes
+``flit_forward``          --    yes
+``reservation_grant``     yes   --
+``reservation_deny``      yes   --
+``credit_return``         yes   yes
+``buffer_alloc``          yes   yes
+``buffer_free``           yes   yes
+``packet_created``        yes   yes
+``packet_delivered``      yes   yes
+========================  ====  =============
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.obs import events as ev
+from repro.obs.events import EventBus, NetworkEvent
+
+if TYPE_CHECKING:
+    from repro.baselines.vc.flits import VCFlit
+    from repro.baselines.vc.network import VCNetwork
+    from repro.core.flits import ControlFlit, DataFlit
+    from repro.core.network import FRNetwork
+    from repro.sim.netbase import NetworkModel
+    from repro.traffic.packet import Packet
+
+
+class NetworkProbe:
+    """Wires one :class:`EventBus` into one network model."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self.bus = bus
+        self._network: "NetworkModel | None" = None
+        self._saved: list[tuple[Any, str, Any]] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, network: "NetworkModel") -> "NetworkProbe":
+        """Install bus-emitting hooks on ``network`` (chainable)."""
+        # Imported here, not at module scope: repro.sim re-exports the
+        # bus-backed TraceLog, so a module-level import of the network
+        # classes would be circular.
+        from repro.baselines.vc.network import VCNetwork
+        from repro.core.network import FRNetwork
+
+        if self._network is not None:
+            raise RuntimeError("probe already attached; detach first")
+        if isinstance(network, FRNetwork):
+            self._attach_fr(network)
+        elif isinstance(network, VCNetwork):  # wormhole subclasses VCNetwork
+            self._attach_vc(network)
+        else:
+            raise TypeError(
+                f"cannot probe a {type(network).__name__}: expected a "
+                "flit-reservation, virtual-channel, or wormhole network"
+            )
+        self._attach_packet_hooks(network)
+        self._network = network
+        return self
+
+    def detach(self) -> None:
+        """Restore every hook to its pre-attach value."""
+        for owner, attribute, saved in reversed(self._saved):
+            setattr(owner, attribute, saved)
+        self._saved.clear()
+        self._network = None
+
+    def _install(self, owner: Any, attribute: str, hook: Any) -> None:
+        self._saved.append((owner, attribute, getattr(owner, attribute)))
+        setattr(owner, attribute, hook)
+
+    # -- shared packet lifecycle hooks --------------------------------------
+
+    def _attach_packet_hooks(self, network: "NetworkModel") -> None:
+        bus = self.bus
+
+        def created(packet: "Packet", cycle: int) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.PACKET_CREATED,
+                    packet.source,
+                    packet_id=packet.packet_id,
+                    value=packet.length,
+                    detail=f"to {packet.destination}",
+                )
+            )
+
+        def delivered(packet: "Packet", cycle: int) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.PACKET_DELIVERED,
+                    packet.destination,
+                    packet_id=packet.packet_id,
+                    value=cycle - packet.creation_cycle,
+                )
+            )
+
+        if bus.wants(ev.PACKET_CREATED):
+            self._install(network, "on_packet_created", self._chain2(
+                getattr(network, "on_packet_created"), created))
+        if bus.wants(ev.PACKET_DELIVERED):
+            self._install(network, "on_packet_delivered", self._chain2(
+                getattr(network, "on_packet_delivered"), delivered))
+
+    @staticmethod
+    def _chain2(
+        inner: Optional[Callable[[Any, int], None]],
+        added: Callable[[Any, int], None],
+    ) -> Callable[[Any, int], None]:
+        if inner is None:
+            return added
+
+        def hook(first: Any, second: int) -> None:
+            added(first, second)
+            inner(first, second)
+
+        return hook
+
+    # -- flit-reservation wiring --------------------------------------------
+
+    def _attach_fr(self, network: "FRNetwork") -> None:
+        for router in network.routers:
+            node = router.node
+            if self.bus.wants(ev.CONTROL_ARRIVAL):
+                self._install(
+                    router,
+                    "on_control_arrival",
+                    self._fr_control_hook(node, router.on_control_arrival),
+                )
+            if self.bus.wants(ev.DATA_ARRIVAL):
+                self._install(
+                    router,
+                    "on_data_arrival",
+                    self._fr_data_hook(node, router.on_data_arrival),
+                )
+            if self.bus.wants(ev.DATA_EJECT):
+                self._install(router, "eject_data", self._fr_eject_hook(node, router.eject_data))
+            if self.bus.wants(ev.RESERVATION_GRANT):
+                self._install(
+                    router,
+                    "on_reservation_grant",
+                    self._chain_n(router.on_reservation_grant, self._fr_grant_hook(node)),
+                )
+            if self.bus.wants(ev.RESERVATION_DENY):
+                self._install(
+                    router,
+                    "on_reservation_deny",
+                    self._chain_n(router.on_reservation_deny, self._fr_deny_hook(node)),
+                )
+            if self.bus.wants(ev.CREDIT_RETURN):
+                self._install(
+                    router,
+                    "on_credit_return",
+                    self._chain_n(router.on_credit_return, self._fr_credit_hook(node)),
+                )
+            if self.bus.wants(ev.BUFFER_ALLOC) or self.bus.wants(ev.BUFFER_FREE):
+                for port, scheduler in enumerate(router.input_sched):
+                    self._install(
+                        scheduler,
+                        "on_buffer_event",
+                        self._chain_n(
+                            scheduler.on_buffer_event, self._fr_buffer_hook(node, port)
+                        ),
+                    )
+
+    @staticmethod
+    def _chain_n(
+        inner: Optional[Callable[..., None]], added: Callable[..., None]
+    ) -> Callable[..., None]:
+        if inner is None:
+            return added
+
+        def hook(*args: Any) -> None:
+            added(*args)
+            inner(*args)
+
+        return hook
+
+    def _fr_control_hook(
+        self, node: int, inner: Optional[Callable[["ControlFlit", int, int], None]]
+    ) -> Callable[["ControlFlit", int, int], None]:
+        bus = self.bus
+
+        def hook(flit: "ControlFlit", at_node: int, cycle: int) -> None:
+            role = "head" if flit.is_head else "body"
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.CONTROL_ARRIVAL,
+                    at_node,
+                    packet_id=flit.packet.packet_id,
+                    vc=flit.vcid,
+                    value=len(flit.data_flits),
+                    detail=f"{role}, leads {len(flit.data_flits)}",
+                )
+            )
+            if inner is not None:
+                inner(flit, at_node, cycle)
+
+        return hook
+
+    def _fr_data_hook(
+        self, node: int, inner: Optional[Callable[["DataFlit", int, int], None]]
+    ) -> Callable[["DataFlit", int, int], None]:
+        bus = self.bus
+
+        def hook(flit: "DataFlit", at_node: int, cycle: int) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.DATA_ARRIVAL,
+                    at_node,
+                    packet_id=flit.packet.packet_id,
+                    flit_index=flit.index,
+                    detail=f"flit #{flit.index}",
+                )
+            )
+            if inner is not None:
+                inner(flit, at_node, cycle)
+
+        return hook
+
+    def _fr_eject_hook(
+        self, node: int, inner: Callable[["DataFlit", int], None]
+    ) -> Callable[["DataFlit", int], None]:
+        bus = self.bus
+
+        def hook(flit: "DataFlit", cycle: int) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.DATA_EJECT,
+                    node,
+                    packet_id=flit.packet.packet_id,
+                    flit_index=flit.index,
+                    detail=f"flit #{flit.index}",
+                )
+            )
+            inner(flit, cycle)
+
+        return hook
+
+    def _fr_grant_hook(self, node: int) -> Callable[["ControlFlit", int, int, int, int], None]:
+        bus = self.bus
+
+        def hook(
+            flit: "ControlFlit", flit_index: int, out_port: int, departure: int, cycle: int
+        ) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.RESERVATION_GRANT,
+                    node,
+                    packet_id=flit.packet.packet_id,
+                    port=out_port,
+                    flit_index=flit_index,
+                    value=departure,
+                )
+            )
+
+        return hook
+
+    def _fr_deny_hook(self, node: int) -> Callable[["ControlFlit", int, int], None]:
+        bus = self.bus
+
+        def hook(flit: "ControlFlit", out_port: int, cycle: int) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.RESERVATION_DENY,
+                    node,
+                    packet_id=flit.packet.packet_id,
+                    port=out_port,
+                )
+            )
+
+        return hook
+
+    def _fr_credit_hook(self, node: int) -> Callable[[str, int, int, int], None]:
+        bus = self.bus
+
+        def hook(credit_kind: str, port: int, value: int, cycle: int) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.CREDIT_RETURN,
+                    node,
+                    port=port,
+                    value=value,
+                    detail=credit_kind,
+                )
+            )
+
+        return hook
+
+    def _fr_buffer_hook(self, node: int, port: int) -> Callable[[str, int, int], None]:
+        bus = self.bus
+
+        def hook(action: str, cycle: int, occupied: int) -> None:
+            kind = ev.BUFFER_ALLOC if action == "alloc" else ev.BUFFER_FREE
+            bus.emit(NetworkEvent(cycle, kind, node, port=port, value=occupied))
+
+        return hook
+
+    # -- virtual-channel / wormhole wiring ----------------------------------
+
+    def _attach_vc(self, network: "VCNetwork") -> None:
+        for router in network.routers:
+            node = router.node
+            if self.bus.wants(ev.DATA_ARRIVAL) or self.bus.wants(ev.BUFFER_ALLOC):
+                self._install(
+                    router,
+                    "on_flit_arrival",
+                    self._chain_n(router.on_flit_arrival, self._vc_arrival_hook(node, router)),
+                )
+            if (
+                self.bus.wants(ev.FLIT_FORWARD)
+                or self.bus.wants(ev.BUFFER_FREE)
+                or self.bus.wants(ev.CREDIT_RETURN)
+            ):
+                self._install(
+                    router,
+                    "on_flit_forward",
+                    self._chain_n(router.on_flit_forward, self._vc_forward_hook(node, router)),
+                )
+            if self.bus.wants(ev.DATA_EJECT):
+                self._install(router, "eject", self._vc_eject_hook(node, router.eject))
+
+    def _vc_arrival_hook(self, node: int, router: Any) -> Callable[["VCFlit", int, int, int], None]:
+        bus = self.bus
+
+        def hook(flit: "VCFlit", port: int, vc: int, cycle: int) -> None:
+            if bus.wants(ev.DATA_ARRIVAL):
+                bus.emit(
+                    NetworkEvent(
+                        cycle,
+                        ev.DATA_ARRIVAL,
+                        node,
+                        packet_id=flit.packet.packet_id,
+                        port=port,
+                        vc=vc,
+                        flit_index=flit.index,
+                        detail=f"flit #{flit.index}",
+                    )
+                )
+            if bus.wants(ev.BUFFER_ALLOC):
+                bus.emit(
+                    NetworkEvent(
+                        cycle,
+                        ev.BUFFER_ALLOC,
+                        node,
+                        port=port,
+                        value=router.pool_occupancy[port],
+                    )
+                )
+
+        return hook
+
+    def _vc_forward_hook(
+        self, node: int, router: Any
+    ) -> Callable[["VCFlit", int, int, int, int], None]:
+        bus = self.bus
+
+        def hook(flit: "VCFlit", port: int, vc: int, out_port: int, cycle: int) -> None:
+            if bus.wants(ev.FLIT_FORWARD):
+                bus.emit(
+                    NetworkEvent(
+                        cycle,
+                        ev.FLIT_FORWARD,
+                        node,
+                        packet_id=flit.packet.packet_id,
+                        port=out_port,
+                        vc=vc,
+                        flit_index=flit.index,
+                    )
+                )
+            if bus.wants(ev.BUFFER_FREE):
+                bus.emit(
+                    NetworkEvent(
+                        cycle,
+                        ev.BUFFER_FREE,
+                        node,
+                        port=port,
+                        value=router.pool_occupancy[port],
+                    )
+                )
+            if bus.wants(ev.CREDIT_RETURN):
+                bus.emit(
+                    NetworkEvent(
+                        cycle, ev.CREDIT_RETURN, node, port=port, vc=vc, detail="vc"
+                    )
+                )
+
+        return hook
+
+    def _vc_eject_hook(
+        self, node: int, inner: Callable[["VCFlit", int], None]
+    ) -> Callable[["VCFlit", int], None]:
+        bus = self.bus
+
+        def hook(flit: "VCFlit", cycle: int) -> None:
+            bus.emit(
+                NetworkEvent(
+                    cycle,
+                    ev.DATA_EJECT,
+                    node,
+                    packet_id=flit.packet.packet_id,
+                    flit_index=flit.index,
+                    detail=f"flit #{flit.index}",
+                )
+            )
+            inner(flit, cycle)
+
+        return hook

@@ -1,0 +1,78 @@
+"""Simulator self-profiling: cycles/sec and per-phase wall time.
+
+This is the one module in ``src/repro`` allowed to read the wall clock
+(line-scoped frfc-lint D001 suppressions below): the profiler measures the
+*simulator*, never the simulated network, and none of its numbers feed back
+into any model decision -- ``BENCH_obs.json`` is explicitly a profiling
+artifact, excluded from the byte-identical-exports guarantee the other
+exporters make.
+
+The :class:`~repro.sim.kernel.Simulator` calls ``begin()`` before and
+``end(cycles)`` after each ``step`` batch, so the kernel itself contains no
+clock reads; the harness brackets its stages with ``enter_phase`` to split
+the total into warmup/sample/drain.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+
+class SimProfiler:
+    """Accumulates wall time per harness phase and total cycles simulated."""
+
+    def __init__(self) -> None:
+        self.phase = "run"
+        self.phase_wall: dict[str, float] = {}
+        self.phase_cycles: dict[str, int] = {}
+        self.total_cycles = 0
+        self.total_wall = 0.0
+        self._batch_start: float | None = None
+
+    def enter_phase(self, name: str) -> None:
+        """Attribute subsequent step batches to ``name`` (e.g. "warmup")."""
+        self.phase = name
+
+    def begin(self) -> None:
+        """Called by the simulator just before a batch of cycles runs."""
+        self._batch_start = time.perf_counter()  # frfc-lint: disable=D001
+
+    def end(self, cycles: int) -> None:
+        """Called by the simulator after ``cycles`` cycles completed."""
+        if self._batch_start is None:
+            return
+        elapsed = time.perf_counter() - self._batch_start  # frfc-lint: disable=D001
+        self._batch_start = None
+        self.total_wall += elapsed
+        self.total_cycles += cycles
+        self.phase_wall[self.phase] = self.phase_wall.get(self.phase, 0.0) + elapsed
+        self.phase_cycles[self.phase] = self.phase_cycles.get(self.phase, 0) + cycles
+
+    @property
+    def cycles_per_second(self) -> float:
+        if self.total_wall <= 0.0:
+            return 0.0
+        return self.total_cycles / self.total_wall
+
+    def report(self) -> dict[str, Any]:
+        """The ``BENCH_obs.json`` payload."""
+        phases = {
+            name: {
+                "cycles": self.phase_cycles.get(name, 0),
+                "wall_seconds": round(self.phase_wall[name], 6),
+                "cycles_per_second": round(
+                    self.phase_cycles.get(name, 0) / self.phase_wall[name], 1
+                )
+                if self.phase_wall[name] > 0
+                else 0.0,
+            }
+            for name in self.phase_wall
+        }
+        return {
+            "schema": "frfc-obs-bench/1",
+            "cycles": self.total_cycles,
+            "wall_seconds": round(self.total_wall, 6),
+            "cycles_per_second": round(self.cycles_per_second, 1),
+            "phases": phases,
+        }

@@ -1,0 +1,153 @@
+"""One observed run, end to end: the object the harness drives.
+
+An :class:`ObsSession` bundles the bus, collector, metrics registry, and
+profiler that one instrumented run needs, derived from which outputs the
+caller asked for:
+
+* ``events_out``  -> JSONL event log (every kind);
+* ``trace_out``   -> Chrome trace-event JSON (Perfetto-loadable);
+* ``metrics_out`` -> CSV timeseries from the metrics registry;
+* ``profile``     -> ``BENCH_obs.json`` with cycles/sec per phase;
+* a manifest is always written alongside whichever artifacts exist.
+
+Usage::
+
+    session = ObsSession(trace_out="t.json", metrics_out="m.csv", profile=True)
+    session.attach(network)
+    simulator = Simulator(network, observers=session.observers,
+                          profiler=session.profiler)
+    ... run ...
+    session.detach()
+    artifacts = session.finalize(config=config, seed=seed, preset="quick")
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs.events import EventBus, EventCollector
+from repro.obs.exporters import write_chrome_trace, write_events_jsonl, write_metrics_csv
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import NetworkProbe
+from repro.obs.profile import SimProfiler
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import CycleHook
+    from repro.sim.netbase import NetworkModel
+
+
+class ObsSession:
+    """Configures and finalizes the observability of one run."""
+
+    def __init__(
+        self,
+        events_out: str | None = None,
+        trace_out: str | None = None,
+        metrics_out: str | None = None,
+        profile: bool = False,
+        manifest_out: str = "obs_manifest.json",
+        bench_out: str = "BENCH_obs.json",
+        sample_every: int = 100,
+        capacity: int = 1_000_000,
+    ) -> None:
+        self.events_out = events_out
+        self.trace_out = trace_out
+        self.metrics_out = metrics_out
+        self.manifest_out = manifest_out
+        self.bench_out = bench_out
+        self.bus = EventBus()
+        self.collector: EventCollector | None = None
+        if events_out or trace_out:
+            self.collector = EventCollector(capacity)
+            self.bus.subscribe_all(self.collector)
+        self.registry: MetricsRegistry | None = None
+        if metrics_out:
+            self.registry = MetricsRegistry(sample_every)
+        self.profiler: SimProfiler | None = SimProfiler() if profile else None
+        self._probe: NetworkProbe | None = None
+        self._network: "NetworkModel | None" = None
+
+    @property
+    def observers(self) -> tuple["CycleHook", ...]:
+        """After-cycle hooks to hand the simulator (the metrics sampler)."""
+        return (self.registry,) if self.registry is not None else ()
+
+    def enter_phase(self, name: str) -> None:
+        """Label the following cycles for the profiler ("warmup", ...)."""
+        if self.profiler is not None:
+            self.profiler.enter_phase(name)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, network: "NetworkModel") -> "ObsSession":
+        """Probe the network (when any event output is wanted; chainable)."""
+        if self._network is not None:
+            raise RuntimeError("observability session already attached")
+        self._network = network
+        if self.collector is not None:
+            self._probe = NetworkProbe(self.bus).attach(network)
+        if self.registry is not None:
+            self.registry.install_standard_instruments(network)
+        return self
+
+    def detach(self) -> None:
+        """Restore the network's hooks (idempotent)."""
+        if self._probe is not None:
+            self._probe.detach()
+            self._probe = None
+
+    # -- artifact writing ---------------------------------------------------
+
+    def finalize(
+        self,
+        config: Any,
+        seed: int,
+        preset: str = "",
+        offered_load: float | None = None,
+        packet_length: int | None = None,
+        command: str = "",
+        extra: Mapping[str, Any] | None = None,
+    ) -> dict[str, str]:
+        """Write every requested artifact; returns {artifact kind: path}."""
+        self.detach()
+        artifacts: dict[str, str] = {}
+        run_name = "frfc"
+        network = self._network
+        if network is not None:
+            run_name = f"frfc {network.flow_control_name}"
+        if self.events_out and self.collector is not None:
+            write_events_jsonl(self.collector, self.events_out)
+            artifacts["events"] = self.events_out
+        if self.trace_out and self.collector is not None:
+            write_chrome_trace(self.collector, self.trace_out, run_name=run_name)
+            artifacts["trace"] = self.trace_out
+        if self.metrics_out and self.registry is not None:
+            write_metrics_csv(self.registry.timeseries, self.metrics_out)
+            artifacts["metrics"] = self.metrics_out
+        if self.profiler is not None:
+            bench = self.profiler.report()
+            if extra:
+                bench = {**bench, **dict(extra)}
+            write_manifest(bench, self.bench_out)
+            artifacts["bench"] = self.bench_out
+        if artifacts or self.manifest_out:
+            mesh = ""
+            if network is not None:
+                mesh = f"{network.mesh.width}x{network.mesh.height}"
+            manifest = build_manifest(
+                config=config,
+                seed=seed,
+                preset=preset,
+                offered_load=offered_load,
+                packet_length=packet_length,
+                mesh=mesh,
+                command=command,
+                artifacts=artifacts,
+                metrics_summary=self.registry.summary() if self.registry else None,
+                events_emitted=self.bus.events_emitted if self.collector else None,
+                events_dropped=self.collector.dropped if self.collector else None,
+            )
+            write_manifest(manifest, self.manifest_out)
+            artifacts["manifest"] = self.manifest_out
+        return artifacts

@@ -1,0 +1,116 @@
+"""Packet-timeline tracing, for every flow-control model.
+
+A :class:`TraceLog` is the teaching/debugging view of the event stream: it
+attaches to a flit-reservation, virtual-channel, or wormhole network (via an
+internal :class:`~repro.obs.probe.NetworkProbe`) and records a bounded log
+of per-packet events; ``format_packet`` prints the life of one packet as a
+timeline, the programmatic equivalent of the paper's Figure 4(d).
+
+The FR output is byte-identical to the pre-event-bus trace log (pinned by
+``tests/obs/test_trace_golden.py``): same kinds, same detail strings, same
+formatting, and control arrivals from the on-node NI hop (cycle ``-1``) are
+skipped exactly as before.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs import events as ev
+from repro.obs.events import EventBus, NetworkEvent
+from repro.obs.probe import NetworkProbe
+
+if TYPE_CHECKING:
+    from repro.sim.netbase import NetworkModel
+
+#: Event kinds a trace log records, in taxonomy order.  ``flit_forward``
+#: only exists in VC/wormhole streams, so FR traces keep their historical
+#: three-kind shape.
+TRACED_KINDS: tuple[str, ...] = (
+    ev.CONTROL_ARRIVAL,
+    ev.DATA_ARRIVAL,
+    ev.FLIT_FORWARD,
+    ev.DATA_EJECT,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed event in the life of a packet."""
+
+    cycle: int
+    kind: str  # "control_arrival" | "data_arrival" | "flit_forward" | "data_eject"
+    node: int
+    packet_id: int
+    detail: str = ""
+
+    def format(self) -> str:
+        text = f"cycle {self.cycle:>6}  {self.kind:<16} node {self.node:>3}"
+        if self.detail:
+            text += f"  {self.detail}"
+        return text
+
+
+class TraceLog:
+    """A bounded in-memory log of per-packet network events.
+
+    ``capacity`` bounds memory for long runs (old events are dropped
+    first).  Attach before stepping the simulator; detach to restore the
+    network's previous hooks.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._probe: NetworkProbe | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self, network: "NetworkModel") -> "TraceLog":
+        """Start recording events from ``network`` (chainable)."""
+        if self._probe is not None:
+            raise RuntimeError("trace log already attached")
+        bus = EventBus()
+        for kind in TRACED_KINDS:
+            bus.subscribe(kind, self._record)
+        self._probe = NetworkProbe(bus).attach(network)
+        return self
+
+    def detach(self) -> None:
+        """Stop recording and restore the network's previous hooks."""
+        if self._probe is not None:
+            self._probe.detach()
+            self._probe = None
+
+    # -- the bus subscriber --------------------------------------------------------
+
+    def _record(self, event: NetworkEvent) -> None:
+        if event.kind == ev.CONTROL_ARRIVAL and event.cycle < 0:
+            return  # the on-node NI injection hop, never logged
+        self.events.append(
+            TraceEvent(event.cycle, event.kind, event.node, event.packet_id, event.detail)
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    def packet_events(self, packet_id: int) -> list[TraceEvent]:
+        """All recorded events of one packet, in time order."""
+        return sorted(
+            (event for event in self.events if event.packet_id == packet_id),
+            key=lambda event: event.cycle,
+        )
+
+    def format_packet(self, packet_id: int) -> str:
+        """A printable timeline of one packet (cf. the paper's Figure 4d)."""
+        events = self.packet_events(packet_id)
+        if not events:
+            return f"no events recorded for packet {packet_id}"
+        lines = [f"packet {packet_id} timeline:"]
+        lines.extend(event.format() for event in events)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

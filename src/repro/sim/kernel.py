@@ -13,7 +13,7 @@ dispatch overhead: it calls exactly one ``step(cycle)`` callable per cycle.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional, Protocol, Sequence
 
 
 class SimulationError(Exception):
@@ -39,6 +39,21 @@ class CycleHook(Protocol):
         """Inspect the network state after ``cycle`` completed."""
 
 
+class StepProfiler(Protocol):
+    """Wall-time accounting around batches of cycles.
+
+    The kernel never reads the clock itself (rule D001): a profiler -- in
+    practice :class:`repro.obs.profile.SimProfiler` -- is bracketed around
+    each ``step`` batch and told how many cycles it covered.
+    """
+
+    def begin(self) -> None:
+        """A batch of cycles is about to run."""
+
+    def end(self, cycles: int) -> None:
+        """The batch finished after ``cycles`` cycles (even on error)."""
+
+
 class Simulator:
     """Drives a :class:`SteppableNetwork` through time.
 
@@ -50,6 +65,9 @@ class Simulator:
     :class:`repro.sim.invariants.InvariantChecker`): it is called with the
     network and the cycle just executed, on every cycle of every run, so a
     corrupted conservation law is reported within one cycle of appearing.
+    ``observers`` are further after-cycle hooks (metrics samplers and the
+    like) that run after the checker; ``profiler`` receives begin/end
+    brackets around every step batch for wall-time accounting.
     """
 
     def __init__(
@@ -57,18 +75,35 @@ class Simulator:
         network: SteppableNetwork,
         max_cycles: int = 10_000_000,
         checker: Optional[CycleHook] = None,
+        observers: Sequence[CycleHook] = (),
+        profiler: Optional[StepProfiler] = None,
     ) -> None:
         self.network = network
         self.cycle = 0
         self.max_cycles = max_cycles
         self.checker = checker
+        self.observers = tuple(observers)
+        self.profiler = profiler
 
     def step(self, cycles: int = 1) -> None:
         """Advance the clock by ``cycles`` cycles."""
+        if self.profiler is None:
+            self._run(cycles)
+            return
+        start = self.cycle
+        self.profiler.begin()
+        try:
+            self._run(cycles)
+        finally:
+            self.profiler.end(self.cycle - start)
+
+    def _run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.network.step(self.cycle)
             if self.checker is not None:
                 self.checker.check(self.network, self.cycle)
+            for observer in self.observers:
+                observer.check(self.network, self.cycle)
             self.cycle += 1
             if self.cycle > self.max_cycles:
                 raise SimulationError(

@@ -10,6 +10,8 @@ accounting -- so each router model only implements its own cycle semantics.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.sim.rng import DeterministicRng
 from repro.stats.collectors import LatencyStats, ThroughputCounter
 from repro.topology.mesh import Mesh2D
@@ -75,6 +77,10 @@ class NetworkModel:
         self.measured_outstanding = 0
         self.measured_delivered = 0
         self.packets_delivered = 0
+        # Observability hooks (pure observers), called with (packet, cycle)
+        # at creation and at last-flit ejection.
+        self.on_packet_created: Optional[Callable[[Packet, int], None]] = None
+        self.on_packet_delivered: Optional[Callable[[Packet, int], None]] = None
 
     # -- identity ----------------------------------------------------------
 
@@ -127,6 +133,8 @@ class NetworkModel:
             self.packets_in_flight[packet.packet_id] = packet
             if packet.measured:
                 self.measured_outstanding += 1
+            if self.on_packet_created is not None:
+                self.on_packet_created(packet, cycle)
             created.append(packet)
         return created
 
@@ -141,3 +149,5 @@ class NetworkModel:
                 self.measured_outstanding -= 1
                 self.measured_delivered += 1
                 self.latency_stats.record(packet.latency)
+            if self.on_packet_delivered is not None:
+                self.on_packet_delivered(packet, cycle)

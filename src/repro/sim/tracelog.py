@@ -1,154 +1,14 @@
-"""Event tracing for flit-reservation networks.
+"""Backwards-compatible home of the packet trace log.
 
-A :class:`TraceLog` attaches to an :class:`~repro.core.network.FRNetwork`
-through its observability hooks and records a bounded log of network events
--- control flit arrivals, data flit arrivals, ejections -- without touching
-the routers themselves (zero overhead when not attached).  It exists for
-debugging and for teaching: `format_packet` prints the life of one packet as
-a timeline, the programmatic equivalent of the paper's Figure 4(d).
+The trace log now lives in :mod:`repro.obs.trace`, built on the unified
+event bus so it works for virtual-channel and wormhole networks as well as
+flit-reservation ones.  This module re-exports it under the historical
+``repro.sim.tracelog`` names; the FR output format is unchanged
+byte-for-byte (see ``tests/obs/test_trace_golden.py``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from repro.obs.trace import TraceEvent, TraceLog
 
-if TYPE_CHECKING:
-    from repro.core.flits import ControlFlit, DataFlit
-    from repro.core.network import FRNetwork
-
-    ControlHook = Optional[Callable[["ControlFlit", int, int], None]]
-    DataHook = Optional[Callable[["DataFlit", int, int], None]]
-    EjectHook = Callable[["DataFlit", int], None]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One observed event in the life of a packet."""
-
-    cycle: int
-    kind: str  # "control_arrival" | "data_arrival" | "data_eject"
-    node: int
-    packet_id: int
-    detail: str = ""
-
-    def format(self) -> str:
-        text = f"cycle {self.cycle:>6}  {self.kind:<16} node {self.node:>3}"
-        if self.detail:
-            text += f"  {self.detail}"
-        return text
-
-
-class TraceLog:
-    """A bounded in-memory log of FR network events.
-
-    ``capacity`` bounds memory for long runs (old events are dropped
-    first).  Attach before stepping the simulator; detach to restore the
-    network's previous hooks.
-    """
-
-    def __init__(self, capacity: int = 100_000) -> None:
-        if capacity < 1:
-            raise ValueError("trace capacity must be positive")
-        self.events: deque[TraceEvent] = deque(maxlen=capacity)
-        self._network: "FRNetwork | None" = None
-        self._saved_hooks: list[tuple[object, ...]] = []
-
-    # -- lifecycle ---------------------------------------------------------------
-
-    def attach(self, network: "FRNetwork") -> "TraceLog":
-        """Start recording events from ``network`` (chainable)."""
-        if self._network is not None:
-            raise RuntimeError("trace log already attached")
-        self._network = network
-        for router in network.routers:
-            self._saved_hooks.append(
-                (router, router.on_control_arrival, router.on_data_arrival,
-                 router.eject_data)
-            )
-            router.on_control_arrival = self._wrap_control(router.on_control_arrival)
-            router.on_data_arrival = self._wrap_data(router.on_data_arrival)
-            router.eject_data = self._wrap_eject(router.eject_data, router.node)
-        return self
-
-    def detach(self) -> None:
-        """Stop recording and restore the network's previous hooks."""
-        for router, control_hook, data_hook, eject_hook in self._saved_hooks:
-            router.on_control_arrival = control_hook
-            router.on_data_arrival = data_hook
-            router.eject_data = eject_hook
-        self._saved_hooks.clear()
-        self._network = None
-
-    # -- hook wrappers ------------------------------------------------------------
-
-    def _wrap_control(self, inner: "ControlHook") -> "Callable[[ControlFlit, int, int], None]":
-        def hook(flit: "ControlFlit", node: int, cycle: int) -> None:
-            if cycle >= 0:
-                role = "head" if flit.is_head else "body"
-                self.events.append(
-                    TraceEvent(
-                        cycle,
-                        "control_arrival",
-                        node,
-                        flit.packet.packet_id,
-                        detail=f"{role}, leads {len(flit.data_flits)}",
-                    )
-                )
-            if inner is not None:
-                inner(flit, node, cycle)
-
-        return hook
-
-    def _wrap_data(self, inner: "DataHook") -> "Callable[[DataFlit, int, int], None]":
-        def hook(flit: "DataFlit", node: int, cycle: int) -> None:
-            self.events.append(
-                TraceEvent(
-                    cycle,
-                    "data_arrival",
-                    node,
-                    flit.packet.packet_id,
-                    detail=f"flit #{flit.index}",
-                )
-            )
-            if inner is not None:
-                inner(flit, node, cycle)
-
-        return hook
-
-    def _wrap_eject(self, inner: "EjectHook", node: int) -> "EjectHook":
-        def hook(flit: "DataFlit", cycle: int) -> None:
-            self.events.append(
-                TraceEvent(
-                    cycle,
-                    "data_eject",
-                    node,
-                    flit.packet.packet_id,
-                    detail=f"flit #{flit.index}",
-                )
-            )
-            inner(flit, cycle)
-
-        return hook
-
-    # -- queries -------------------------------------------------------------------
-
-    def packet_events(self, packet_id: int) -> list[TraceEvent]:
-        """All recorded events of one packet, in time order."""
-        return sorted(
-            (event for event in self.events if event.packet_id == packet_id),
-            key=lambda event: event.cycle,
-        )
-
-    def format_packet(self, packet_id: int) -> str:
-        """A printable timeline of one packet (cf. the paper's Figure 4d)."""
-        events = self.packet_events(packet_id)
-        if not events:
-            return f"no events recorded for packet {packet_id}"
-        lines = [f"packet {packet_id} timeline:"]
-        lines.extend(event.format() for event in events)
-        return "\n".join(lines)
-
-    def __len__(self) -> int:
-        return len(self.events)
+__all__ = ["TraceEvent", "TraceLog"]

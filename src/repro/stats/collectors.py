@@ -108,26 +108,46 @@ class LatencyStats:
 
 
 class ThroughputCounter:
-    """Counts flits ejected per node inside a measurement window."""
+    """Counts flits ejected per node inside a measurement window.
+
+    The window is half-open, ``[start, end)``.  Setting a window resets the
+    counts, so ``start`` must lie strictly after every cycle already
+    recorded: a window opened *at* a cycle that has partially ejected would
+    re-count that boundary cycle's remaining ejections while having
+    discarded its earlier ones -- a partial cycle silently presented as a
+    full one.  The harness always opens the window on the cycle after the
+    last warm-up ejection, so this guard only fires on misuse.
+    """
 
     def __init__(self, num_nodes: int) -> None:
         self.num_nodes = num_nodes
         self.window: tuple[int, int] | None = None
         self.flits_ejected = 0
         self.packets_ejected = 0
+        self._last_cycle_seen = -1
 
     def set_window(self, start: int, end: int) -> None:
         if end <= start:
             raise ValueError(f"empty measurement window [{start}, {end})")
+        if start <= self._last_cycle_seen:
+            raise ValueError(
+                f"measurement window [{start}, {end}) opens at or before cycle "
+                f"{self._last_cycle_seen}, which already recorded ejections; "
+                "the boundary cycle would be double-counted"
+            )
         self.window = (start, end)
         self.flits_ejected = 0
         self.packets_ejected = 0
 
     def record_flit(self, cycle: int) -> None:
+        if cycle > self._last_cycle_seen:
+            self._last_cycle_seen = cycle
         if self.window is not None and self.window[0] <= cycle < self.window[1]:
             self.flits_ejected += 1
 
     def record_packet(self, cycle: int) -> None:
+        if cycle > self._last_cycle_seen:
+            self._last_cycle_seen = cycle
         if self.window is not None and self.window[0] <= cycle < self.window[1]:
             self.packets_ejected += 1
 
@@ -144,7 +164,9 @@ class OccupancyTracker:
 
     ``record(occupied)`` is called once per cycle with the number of occupied
     buffers; the tracker reports the fraction of cycles the pool was full and
-    the mean occupancy.
+    the mean occupancy.  Callers that know the cycle pass it so a tracker
+    attached mid-run cannot record the attach-boundary cycle twice (once by
+    the attaching code, once by the network's own end-of-cycle sample).
     """
 
     def __init__(self, pool_size: int) -> None:
@@ -154,12 +176,22 @@ class OccupancyTracker:
         self.cycles = 0
         self.full_cycles = 0
         self.occupied_sum = 0
+        self._last_cycle = -1
 
-    def record(self, occupied: int) -> None:
+    def record(self, occupied: int, cycle: int | None = None) -> None:
         if not 0 <= occupied <= self.pool_size:
             raise ValueError(
                 f"occupancy {occupied} outside pool of {self.pool_size} buffers"
             )
+        if cycle is not None:
+            if cycle == self._last_cycle:
+                return  # boundary cycle already sampled (mid-run attach)
+            if cycle < self._last_cycle:
+                raise ValueError(
+                    f"occupancy sample for cycle {cycle} after cycle "
+                    f"{self._last_cycle} was already recorded"
+                )
+            self._last_cycle = cycle
         self.cycles += 1
         self.occupied_sum += occupied
         if occupied == self.pool_size:

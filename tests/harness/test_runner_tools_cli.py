@@ -25,9 +25,12 @@ class TestTraceCommand:
         assert "packet 1 timeline:" in out
         assert "data_eject" in out
 
-    def test_trace_rejects_vc_configs(self):
-        with pytest.raises(SystemExit):
-            runner.main(["trace", "VC8"])
+    def test_trace_covers_vc_configs(self, capsys):
+        # The event-bus port made non-FR schemes traceable too.
+        assert runner.main(["trace", "VC8", "--packet", "1", "--cycles", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "packet 1 timeline:" in out
+        assert "flit_forward" in out
 
 
 class TestUtilizationCommand:

@@ -112,7 +112,7 @@ class TestD002BareSetIteration:
             """
             def walk():
                 for port in {1, 2, 3}:
-                    print(port)
+                    use(port)
             """
         )
         assert rule_ids(findings) == ["D002"]
@@ -131,7 +131,7 @@ class TestD002BareSetIteration:
             """
             def walk(a, b):
                 for port in set(a) | set(b):
-                    print(port)
+                    use(port)
             """
         )
         assert rule_ids(findings) == ["D002"]
@@ -141,7 +141,7 @@ class TestD002BareSetIteration:
             """
             def walk(ports):
                 for port in sorted(set(ports)):
-                    print(port)
+                    use(port)
             """
         )
         assert findings == []
@@ -151,7 +151,7 @@ class TestD002BareSetIteration:
             """
             def walk(ports):
                 for port in list(ports):
-                    print(port)
+                    use(port)
             """
         )
         assert findings == []
@@ -161,7 +161,7 @@ class TestD002BareSetIteration:
             """
             def walk():
                 for port in {1, 2}:  # frfc-lint: disable=D002
-                    print(port)
+                    use(port)
             """
         )
         assert findings == []
@@ -476,6 +476,56 @@ class TestD007PhaseRaces:
         assert findings == []
 
 
+class TestD008NoPrintInSimulator:
+    def test_print_in_simulator_module_flagged(self):
+        findings = lint("print('router state')\n", path="src/repro/core/router.py")
+        assert rule_ids(findings) == ["D008"]
+
+    def test_print_in_obs_module_flagged(self):
+        findings = lint("print('event')\n", path="src/repro/obs/events.py")
+        assert rule_ids(findings) == ["D008"]
+
+    def test_cli_module_exempt(self):
+        findings = lint("print('result')\n", path="src/repro/harness/runner.py")
+        assert findings == []
+
+    def test_outside_repro_exempt(self):
+        findings = lint("print('debug')\n", path="tools/some_script.py")
+        assert findings == []
+        findings = lint("print('debug')\n", path="tests/obs/test_events.py")
+        assert findings == []
+
+    def test_docstring_mention_clean(self):
+        findings = lint(
+            '''
+            """Example::
+
+                print(result.summary())
+            """
+            x = 1
+            ''',
+            path="src/repro/core/router.py",
+        )
+        assert findings == []
+
+    def test_shadowed_print_method_clean(self):
+        findings = lint(
+            """
+            def report(log):
+                log.print()
+            """,
+            path="src/repro/obs/fake.py",
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint(
+            "print('x')  # frfc-lint: disable=D008\n",
+            path="src/repro/core/router.py",
+        )
+        assert findings == []
+
+
 class TestEngine:
     def test_disable_all(self):
         findings = lint("import random  # frfc-lint: disable=all\n")
@@ -525,6 +575,7 @@ class TestEngine:
             "D005",
             "D006",
             "D007",
+            "D008",
         ]
         assert all(rule.summary for rule in ALL_RULES)
 
@@ -628,5 +679,5 @@ class TestCommandLine:
         cli = load_cli()
         assert cli.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D001", "D002", "D003", "D004", "D005", "D006", "D007"):
+        for rule_id in ("D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008"):
             assert rule_id in out

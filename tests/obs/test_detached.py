@@ -1,0 +1,99 @@
+"""Observability must be free when unused and invisible when used.
+
+Two properties, pinned with the order-permutation digest helpers from
+``repro.analysis.permute``:
+
+* a run with a probe attached-then-detached before stepping emits zero
+  events and is digest-identical to a run that never saw the obs layer;
+* a run observed end-to-end (probe attached while stepping) is *still*
+  digest-identical -- the probe only reads, never perturbs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.permute import digest_network
+from repro.baselines.vc.config import VCConfig
+from repro.baselines.vc.network import VCNetwork
+from repro.baselines.wormhole.network import WormholeConfig, WormholeNetwork
+from repro.core.config import FRConfig
+from repro.core.network import FRNetwork
+from repro.obs.events import EventBus, EventCollector
+from repro.obs.probe import NetworkProbe
+from repro.sim.kernel import Simulator
+from repro.topology.mesh import Mesh2D
+
+CYCLES = 400
+
+BUILDERS = [
+    pytest.param(
+        lambda: FRNetwork(
+            FRConfig(data_buffers_per_input=6),
+            mesh=Mesh2D(4, 4),
+            injection_rate=0.05,
+            seed=11,
+        ),
+        id="fr",
+    ),
+    pytest.param(
+        lambda: VCNetwork(
+            VCConfig(num_vcs=2, buffers_per_vc=4),
+            mesh=Mesh2D(4, 4),
+            injection_rate=0.05,
+            seed=11,
+        ),
+        id="vc",
+    ),
+    pytest.param(
+        lambda: WormholeNetwork(
+            WormholeConfig(buffers_per_input=8),
+            mesh=Mesh2D(4, 4),
+            injection_rate=0.05,
+            seed=11,
+        ),
+        id="wormhole",
+    ),
+]
+
+
+def _run(network, label: str):
+    network.set_measure_window(0, CYCLES)
+    Simulator(network).step(CYCLES)
+    return digest_network(network, CYCLES, label)
+
+
+@pytest.mark.parametrize("build", BUILDERS)
+def test_detached_probe_adds_zero_events_and_identical_digest(build) -> None:
+    baseline = _run(build(), "never-observed")
+
+    network = build()
+    bus = EventBus()
+    collector = EventCollector()
+    bus.subscribe_all(collector)
+    NetworkProbe(bus).attach(network).detach()
+    digest = _run(network, "attached-then-detached")
+
+    assert len(collector) == 0
+    assert bus.events_emitted == 0
+    diff = baseline.diff_fields(digest)
+    assert not diff, f"detached probe changed the run: {diff}"
+    assert baseline.hexdigest() == digest.hexdigest()
+
+
+@pytest.mark.parametrize("build", BUILDERS)
+def test_attached_probe_is_a_pure_observer(build) -> None:
+    baseline = _run(build(), "never-observed")
+
+    network = build()
+    bus = EventBus()
+    collector = EventCollector()
+    bus.subscribe_all(collector)
+    probe = NetworkProbe(bus).attach(network)
+    digest = _run(network, "observed")
+    probe.detach()
+
+    assert len(collector) > 0
+    diff = baseline.diff_fields(digest)
+    assert not diff, f"attached probe perturbed the run: {diff}"
+    assert baseline.hexdigest() == digest.hexdigest()

@@ -1,0 +1,93 @@
+"""Unit tests for the typed event bus and the bounded collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import (
+    CONTROL_ARRIVAL,
+    DATA_ARRIVAL,
+    DATA_EJECT,
+    EVENT_KINDS,
+    EventBus,
+    EventCollector,
+    NetworkEvent,
+)
+
+
+def _event(kind: str = DATA_ARRIVAL, cycle: int = 7, node: int = 3) -> NetworkEvent:
+    return NetworkEvent(cycle=cycle, kind=kind, node=node)
+
+
+class TestNetworkEvent:
+    def test_as_dict_omits_default_fields(self) -> None:
+        record = _event().as_dict()
+        assert record == {"cycle": 7, "kind": DATA_ARRIVAL, "node": 3}
+
+    def test_as_dict_keeps_non_default_fields(self) -> None:
+        event = NetworkEvent(
+            cycle=1, kind=CONTROL_ARRIVAL, node=0, packet_id=9, vc=2, detail="head"
+        )
+        record = event.as_dict()
+        assert record["packet_id"] == 9
+        assert record["vc"] == 2
+        assert record["detail"] == "head"
+        assert "port" not in record
+        assert "flit_index" not in record
+
+    def test_events_are_immutable(self) -> None:
+        with pytest.raises(AttributeError):
+            _event().cycle = 0  # type: ignore[misc]
+
+
+class TestEventBus:
+    def test_subscribe_rejects_unknown_kind(self) -> None:
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventBus().subscribe("not_a_kind", lambda event: None)
+
+    def test_wants_reflects_subscriptions(self) -> None:
+        bus = EventBus()
+        assert not bus.wants(DATA_ARRIVAL)
+        bus.subscribe(DATA_ARRIVAL, lambda event: None)
+        assert bus.wants(DATA_ARRIVAL)
+        assert not bus.wants(DATA_EJECT)
+
+    def test_subscribe_all_wants_everything(self) -> None:
+        bus = EventBus()
+        bus.subscribe_all(lambda event: None)
+        for kind in EVENT_KINDS:
+            assert bus.wants(kind)
+
+    def test_emit_fans_out_and_counts(self) -> None:
+        bus = EventBus()
+        by_kind: list[NetworkEvent] = []
+        everything: list[NetworkEvent] = []
+        bus.subscribe(DATA_ARRIVAL, by_kind.append)
+        bus.subscribe_all(everything.append)
+        bus.emit(_event(DATA_ARRIVAL))
+        bus.emit(_event(DATA_EJECT))
+        assert [event.kind for event in by_kind] == [DATA_ARRIVAL]
+        assert [event.kind for event in everything] == [DATA_ARRIVAL, DATA_EJECT]
+        assert bus.events_emitted == 2
+
+
+class TestEventCollector:
+    def test_collects_in_order(self) -> None:
+        collector = EventCollector()
+        collector(_event(cycle=1))
+        collector(_event(cycle=2))
+        assert [event.cycle for event in collector] == [1, 2]
+        assert len(collector) == 2
+        assert collector.dropped == 0
+
+    def test_capacity_drops_oldest_and_reports(self) -> None:
+        collector = EventCollector(capacity=3)
+        for cycle in range(5):
+            collector(_event(cycle=cycle))
+        assert [event.cycle for event in collector] == [2, 3, 4]
+        assert collector.total_seen == 5
+        assert collector.dropped == 2
+
+    def test_rejects_nonpositive_capacity(self) -> None:
+        with pytest.raises(ValueError):
+            EventCollector(capacity=0)

@@ -1,0 +1,192 @@
+"""Exporter tests: golden fixtures, schema checks, byte-identity.
+
+The golden fixtures in ``tests/obs/fixtures/`` come from a seeded 4x4
+quick run (the recipe in ``_observed_run`` below).  Regenerate them with
+``FRFC_REGEN_GOLDEN=1 pytest tests/obs/test_exporters.py`` after an
+*intentional* format change.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import FRConfig
+from repro.core.network import FRNetwork
+from repro.obs.events import EVENT_KINDS, EventBus, EventCollector, NetworkEvent
+from repro.obs.exporters import write_chrome_trace, write_events_jsonl, write_metrics_csv
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import NetworkProbe
+from repro.sim.kernel import Simulator
+from repro.topology.mesh import Mesh2D
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN_JSONL = FIXTURES / "events.golden.jsonl"
+GOLDEN_TRACE = FIXTURES / "trace.golden.json"
+GOLDEN_CSV = FIXTURES / "metrics.golden.csv"
+
+SEED = 7
+RATE = 0.01
+CYCLES = 120
+
+
+def _observed_run() -> tuple[EventCollector, MetricsRegistry]:
+    """The fixture recipe: FR(6) on a 4x4 mesh, rate 0.01, seed 7, 120 cycles."""
+    network = FRNetwork(
+        FRConfig(data_buffers_per_input=6),
+        mesh=Mesh2D(4, 4),
+        injection_rate=RATE,
+        seed=SEED,
+    )
+    bus = EventBus()
+    collector = EventCollector()
+    bus.subscribe_all(collector)
+    registry = MetricsRegistry(sample_every=30)
+    registry.install_standard_instruments(network)
+    probe = NetworkProbe(bus).attach(network)
+    Simulator(network, observers=(registry,)).step(CYCLES)
+    probe.detach()
+    return collector, registry
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return _observed_run()
+
+
+def _check_golden(golden: Path, produced: str) -> None:
+    if os.environ.get("FRFC_REGEN_GOLDEN"):
+        golden.write_text(produced, encoding="utf-8")
+        pytest.skip(f"regenerated {golden.name}")
+    assert golden.read_text(encoding="utf-8") == produced, (
+        f"{golden.name} drifted; regenerate with FRFC_REGEN_GOLDEN=1 "
+        "only if the format change is intentional"
+    )
+
+
+class TestGoldenFixtures:
+    def test_jsonl_matches_golden(self, observed, tmp_path) -> None:
+        collector, _ = observed
+        out = tmp_path / "events.jsonl"
+        count = write_events_jsonl(collector, out)
+        assert count == len(collector)
+        _check_golden(GOLDEN_JSONL, out.read_text(encoding="utf-8"))
+
+    def test_chrome_trace_matches_golden(self, observed, tmp_path) -> None:
+        collector, _ = observed
+        out = tmp_path / "trace.json"
+        write_chrome_trace(collector, out, run_name="frfc FR6-golden")
+        _check_golden(GOLDEN_TRACE, out.read_text(encoding="utf-8"))
+
+    def test_csv_matches_golden(self, observed, tmp_path) -> None:
+        _, registry = observed
+        out = tmp_path / "metrics.csv"
+        count = write_metrics_csv(registry.timeseries, out)
+        assert count == len(registry.timeseries)
+        _check_golden(GOLDEN_CSV, out.read_text(encoding="utf-8"))
+
+    def test_same_seed_same_bytes(self, observed, tmp_path) -> None:
+        """The determinism acceptance criterion, in miniature."""
+        collector_a, registry_a = observed
+        collector_b, registry_b = _observed_run()
+        for name, write, first, second in (
+            ("events.jsonl", write_events_jsonl, collector_a, collector_b),
+            ("metrics.csv", write_metrics_csv, registry_a.timeseries, registry_b.timeseries),
+        ):
+            path_a = tmp_path / f"a_{name}"
+            path_b = tmp_path / f"b_{name}"
+            write(first, path_a)
+            write(second, path_b)
+            assert path_a.read_bytes() == path_b.read_bytes(), name
+
+
+class TestJsonlSchema:
+    def test_every_line_parses_with_required_keys(self, observed, tmp_path) -> None:
+        collector, _ = observed
+        out = tmp_path / "events.jsonl"
+        write_events_jsonl(collector, out)
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == len(collector) > 0
+        for line in lines:
+            record = json.loads(line)
+            assert {"cycle", "kind", "node"} <= set(record)
+            assert record["kind"] in EVENT_KINDS
+
+
+class TestChromeTraceSchema:
+    def test_trace_structure(self, observed, tmp_path) -> None:
+        collector, _ = observed
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(collector, out)
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        records = payload["traceEvents"]
+        assert len(records) == count
+        phases = {record["ph"] for record in records}
+        assert phases <= {"M", "i", "b", "e"}
+        assert records[0] == {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "frfc"},
+        }
+        for record in records:
+            assert record["pid"] == 0
+            assert "tid" in record
+            if record["ph"] != "M":
+                assert record["ts"] >= 0
+
+    def test_packet_spans_pair_up(self, observed, tmp_path) -> None:
+        collector, _ = observed
+        out = tmp_path / "trace.json"
+        write_chrome_trace(collector, out)
+        records = json.loads(out.read_text(encoding="utf-8"))["traceEvents"]
+        begins = {r["id"]: r for r in records if r["ph"] == "b"}
+        ends = {r["id"]: r for r in records if r["ph"] == "e"}
+        assert begins
+        for packet_id, end in ends.items():
+            begin = begins[packet_id]
+            assert begin["tid"] == end["tid"], "span must stay on its start thread"
+            assert begin["ts"] <= end["ts"]
+
+
+class TestCsv:
+    def test_header_and_integer_formatting(self, tmp_path) -> None:
+        rows = [
+            {"cycle": 0.0, "x": 1.0, "y": 0.5},
+            {"cycle": 100.0, "x": 2.0, "y": 1.25},
+        ]
+        out = tmp_path / "m.csv"
+        assert write_metrics_csv(rows, out) == 2
+        text = out.read_text(encoding="utf-8")
+        assert text.splitlines()[0] == "cycle,x,y"
+        assert text.splitlines()[1] == "0,1,0.500000"
+
+    def test_empty_timeseries_still_has_header(self, tmp_path) -> None:
+        out = tmp_path / "empty.csv"
+        assert write_metrics_csv([], out) == 0
+        assert out.read_text(encoding="utf-8") == "cycle\n"
+
+    def test_csv_parses_back(self, observed, tmp_path) -> None:
+        _, registry = observed
+        out = tmp_path / "metrics.csv"
+        write_metrics_csv(registry.timeseries, out)
+        with open(out, newline="", encoding="utf-8") as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == len(registry.timeseries)
+        assert [float(row["cycle"]) for row in parsed] == [
+            row["cycle"] for row in registry.timeseries
+        ]
+
+
+def test_negative_cycle_clamps_to_zero(tmp_path) -> None:
+    events = [NetworkEvent(cycle=-1, kind="control_arrival", node=0)]
+    out = tmp_path / "t.json"
+    write_chrome_trace(events, out)
+    records = json.loads(out.read_text(encoding="utf-8"))["traceEvents"]
+    instants = [r for r in records if r["ph"] == "i"]
+    assert instants[0]["ts"] == 0

@@ -1,0 +1,159 @@
+"""Probe attach/detach across all three flow-control models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.vc.network import VCNetwork
+from repro.baselines.wormhole.network import WormholeConfig, WormholeNetwork
+from repro.core.network import FRNetwork
+from repro.obs.events import (
+    BUFFER_ALLOC,
+    BUFFER_FREE,
+    CONTROL_ARRIVAL,
+    CREDIT_RETURN,
+    DATA_ARRIVAL,
+    DATA_EJECT,
+    FLIT_FORWARD,
+    PACKET_CREATED,
+    PACKET_DELIVERED,
+    RESERVATION_GRANT,
+    EventBus,
+    EventCollector,
+)
+from repro.obs.probe import NetworkProbe
+from repro.sim.kernel import Simulator
+
+
+def _observe(network, cycles: int = 400) -> EventCollector:
+    bus = EventBus()
+    collector = EventCollector()
+    bus.subscribe_all(collector)
+    probe = NetworkProbe(bus).attach(network)
+    try:
+        Simulator(network).step(cycles)
+    finally:
+        probe.detach()
+    return collector
+
+
+def _kinds(collector: EventCollector) -> set[str]:
+    return {event.kind for event in collector}
+
+
+class TestFlitReservationCoverage:
+    def test_fr_emits_its_full_taxonomy(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        kinds = _kinds(_observe(network))
+        assert {
+            CONTROL_ARRIVAL,
+            DATA_ARRIVAL,
+            DATA_EJECT,
+            RESERVATION_GRANT,
+            CREDIT_RETURN,
+            BUFFER_ALLOC,
+            BUFFER_FREE,
+            PACKET_CREATED,
+            PACKET_DELIVERED,
+        } <= kinds
+        assert FLIT_FORWARD not in kinds
+
+    def test_fr_buffer_events_balance(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        collector = _observe(network)
+        allocs = sum(1 for event in collector if event.kind == BUFFER_ALLOC)
+        frees = sum(1 for event in collector if event.kind == BUFFER_FREE)
+        assert allocs > 0
+        # Some buffers can still be held at the final cycle, never the reverse.
+        assert frees <= allocs
+
+    def test_packet_delivered_value_is_latency(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        collector = _observe(network)
+        delivered = [e for e in collector if e.kind == PACKET_DELIVERED]
+        assert delivered
+        assert all(event.value > 0 for event in delivered)
+
+
+class TestVirtualChannelCoverage:
+    def test_vc_emits_its_taxonomy(self, mesh4, small_vc_config) -> None:
+        network = VCNetwork(small_vc_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        kinds = _kinds(_observe(network))
+        assert {
+            DATA_ARRIVAL,
+            DATA_EJECT,
+            FLIT_FORWARD,
+            CREDIT_RETURN,
+            BUFFER_ALLOC,
+            BUFFER_FREE,
+            PACKET_CREATED,
+            PACKET_DELIVERED,
+        } <= kinds
+        assert CONTROL_ARRIVAL not in kinds
+        assert RESERVATION_GRANT not in kinds
+
+    def test_wormhole_probes_like_vc(self, mesh4) -> None:
+        network = WormholeNetwork(
+            WormholeConfig(buffers_per_input=8), mesh=mesh4, injection_rate=0.05, seed=1
+        )
+        kinds = _kinds(_observe(network))
+        assert {DATA_ARRIVAL, FLIT_FORWARD, DATA_EJECT, PACKET_DELIVERED} <= kinds
+
+
+class TestLifecycle:
+    def test_detach_restores_every_hook(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        router = network.routers[0]
+        originals = (
+            router.on_control_arrival,
+            router.on_data_arrival,
+            router.eject_data,
+            router.input_sched[0].on_buffer_event,
+            network.on_packet_created,
+        )
+        probe = NetworkProbe(EventBus()).attach(network)
+        probe.detach()
+        assert (
+            router.on_control_arrival,
+            router.on_data_arrival,
+            router.eject_data,
+            router.input_sched[0].on_buffer_event,
+            network.on_packet_created,
+        ) == originals
+
+    def test_probe_chains_existing_hooks(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        seen_by_prior_hook: list[int] = []
+        network.routers[5].on_data_arrival = (
+            lambda flit, node, cycle: seen_by_prior_hook.append(cycle)
+        )
+        collector = _observe(network)
+        arrivals_at_5 = [
+            e for e in collector if e.kind == DATA_ARRIVAL and e.node == 5
+        ]
+        assert len(seen_by_prior_hook) == len(arrivals_at_5) > 0
+
+    def test_double_attach_rejected(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        probe = NetworkProbe(EventBus()).attach(network)
+        with pytest.raises(RuntimeError, match="already attached"):
+            probe.attach(network)
+        probe.detach()
+
+    def test_unknown_network_rejected(self) -> None:
+        with pytest.raises(TypeError, match="cannot probe"):
+            NetworkProbe(EventBus()).attach(object())  # type: ignore[arg-type]
+
+    def test_unsubscribed_bus_installs_no_event_hooks(
+        self, mesh4, small_fr_config
+    ) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1)
+        bus = EventBus()
+        bus.subscribe(DATA_EJECT, lambda event: None)
+        probe = NetworkProbe(bus).attach(network)
+        router = network.routers[0]
+        # Only the wanted kind's hook is installed; the rest stay untouched.
+        assert router.on_control_arrival is None
+        assert router.on_reservation_grant is None
+        assert router.input_sched[0].on_buffer_event is None
+        probe.detach()

@@ -1,0 +1,61 @@
+"""Simulator self-profiling: phase accounting and kernel integration."""
+
+from __future__ import annotations
+
+from repro.core.network import FRNetwork
+from repro.obs.profile import SimProfiler
+from repro.sim.kernel import Simulator
+
+
+class TestSimProfiler:
+    def test_batches_accumulate_into_phases(self) -> None:
+        profiler = SimProfiler()
+        profiler.enter_phase("warmup")
+        profiler.begin()
+        profiler.end(100)
+        profiler.enter_phase("sample")
+        profiler.begin()
+        profiler.end(250)
+        assert profiler.total_cycles == 350
+        assert profiler.phase_cycles == {"warmup": 100, "sample": 250}
+        assert set(profiler.phase_wall) == {"warmup", "sample"}
+        assert profiler.total_wall >= 0.0
+
+    def test_end_without_begin_is_a_noop(self) -> None:
+        profiler = SimProfiler()
+        profiler.end(500)
+        assert profiler.total_cycles == 0
+        assert profiler.cycles_per_second == 0.0
+
+    def test_report_shape(self) -> None:
+        profiler = SimProfiler()
+        profiler.begin()
+        profiler.end(10)
+        report = profiler.report()
+        assert report["schema"] == "frfc-obs-bench/1"
+        assert report["cycles"] == 10
+        assert set(report["phases"]) == {"run"}
+        assert set(report["phases"]["run"]) == {
+            "cycles",
+            "wall_seconds",
+            "cycles_per_second",
+        }
+
+
+class TestKernelIntegration:
+    def test_simulator_drives_the_profiler(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.02, seed=1)
+        profiler = SimProfiler()
+        simulator = Simulator(network, profiler=profiler)
+        simulator.step(40)
+        profiler.enter_phase("second")
+        simulator.step(60)
+        assert profiler.total_cycles == 100
+        assert profiler.phase_cycles == {"run": 40, "second": 60}
+        assert profiler.cycles_per_second > 0
+
+    def test_no_profiler_no_accounting(self, mesh4, small_fr_config) -> None:
+        network = FRNetwork(small_fr_config, mesh=mesh4, injection_rate=0.02, seed=1)
+        simulator = Simulator(network)
+        simulator.step(10)
+        assert simulator.cycle == 10

@@ -1,0 +1,96 @@
+"""Regression tests: mid-run attach must not double-count a boundary cycle.
+
+The measurement window is half-open, ``[start, end)``.  Before this guard,
+a window opened at a cycle that had already recorded ejections would count
+that cycle's *remaining* ejections as if they were the whole cycle; and an
+occupancy tracker attached mid-run would sample the attach cycle twice
+(once by the attaching code, once by the network's own end-of-cycle
+sample).  These tests pin both guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FRConfig
+from repro.core.network import FRNetwork
+from repro.sim.kernel import Simulator
+from repro.stats.collectors import OccupancyTracker, ThroughputCounter
+
+
+class TestThroughputWindow:
+    def test_window_is_half_open(self) -> None:
+        counter = ThroughputCounter(num_nodes=4)
+        counter.set_window(10, 20)
+        counter.record_flit(10)  # included: start is closed
+        counter.record_flit(19)  # included
+        counter.record_flit(20)  # excluded: end is open
+        assert counter.flits_ejected == 2
+        assert counter.flits_per_node_per_cycle == 2 / (10 * 4)
+
+    def test_window_at_recorded_cycle_rejected(self) -> None:
+        counter = ThroughputCounter(num_nodes=4)
+        counter.record_flit(10)
+        with pytest.raises(ValueError, match="double-counted"):
+            counter.set_window(10, 20)
+
+    def test_window_before_recorded_cycle_rejected(self) -> None:
+        counter = ThroughputCounter(num_nodes=4)
+        counter.record_flit(10)
+        with pytest.raises(ValueError, match="double-counted"):
+            counter.set_window(5, 20)
+
+    def test_window_after_recorded_cycle_accepted(self) -> None:
+        counter = ThroughputCounter(num_nodes=4)
+        counter.record_flit(10)
+        counter.set_window(11, 21)
+        assert counter.flits_ejected == 0
+        counter.record_flit(11)
+        assert counter.flits_ejected == 1
+
+    def test_empty_window_rejected(self) -> None:
+        with pytest.raises(ValueError, match="empty"):
+            ThroughputCounter(num_nodes=4).set_window(10, 10)
+
+    def test_out_of_window_records_still_advance_the_guard(self) -> None:
+        counter = ThroughputCounter(num_nodes=4)
+        counter.set_window(0, 5)
+        counter.record_flit(7)  # outside the window, but seen
+        with pytest.raises(ValueError):
+            counter.set_window(7, 12)
+
+
+class TestOccupancyBoundary:
+    def test_same_cycle_sample_ignored(self) -> None:
+        tracker = OccupancyTracker(pool_size=8)
+        tracker.record(4, cycle=10)
+        tracker.record(7, cycle=10)  # mid-run attach boundary: silently skipped
+        assert tracker.cycles == 1
+        assert tracker.mean_occupancy == 4.0
+
+    def test_backwards_cycle_rejected(self) -> None:
+        tracker = OccupancyTracker(pool_size=8)
+        tracker.record(4, cycle=10)
+        with pytest.raises(ValueError, match="already recorded"):
+            tracker.record(4, cycle=9)
+
+    def test_unclocked_samples_keep_legacy_behaviour(self) -> None:
+        tracker = OccupancyTracker(pool_size=2)
+        tracker.record(2)
+        tracker.record(2)
+        tracker.record(0)
+        assert tracker.cycles == 3
+        assert tracker.fraction_full == pytest.approx(2 / 3)
+
+    def test_mid_run_attach_does_not_double_count(
+        self, mesh4, small_fr_config
+    ) -> None:
+        """End-to-end: attach a tracker mid-run, one sample per cycle."""
+        network = FRNetwork(
+            small_fr_config, mesh=mesh4, injection_rate=0.05, seed=1
+        )
+        simulator = Simulator(network)
+        simulator.step(50)
+        tracker = network.track_occupancy(5)
+        simulator.step(50)
+        assert tracker.cycles <= 50
