@@ -154,6 +154,7 @@ def run_experiment(
         sample_end = warmup_end + preset.sample_cycles
         network.set_measure_window(warmup_end, sample_end)
         if obs is not None:
+            obs.note_window(warmup_end, sample_end)
             obs.enter_phase("sample")
         simulator.step(preset.sample_cycles)
         if obs is not None:

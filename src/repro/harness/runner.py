@@ -16,6 +16,8 @@ Examples::
     frfc utilization FR6 0.6        # per-channel busy fractions
     frfc obs FR6 0.5 --preset quick --trace-out t.json --metrics-out m.csv \
         --profile                   # fully observed run with exports
+    frfc attribute FR6 0.5 --versus VC8 --preset quick
+                                    # where does each cycle of latency go?
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ import sys
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
+    from repro.obs.report import AttributionSummary
     from repro.obs.session import ObsSession
 
 from repro.baselines.vc.config import VC8, VC16, VC32
@@ -98,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
         help="measure simulator cycles/sec per phase and write BENCH_obs.json",
     )
     obs_flags.add_argument(
+        "--attribution-out",
+        help="write the per-component latency attribution JSON "
+        "(frfc-attribution/1) here; also accepted by `attribute`, `sweep`, "
+        "and `saturate`",
+    )
+    obs_flags.add_argument(
         "--manifest-out",
         default="obs_manifest.json",
         help="run manifest path (config, preset, seed, git SHA)",
@@ -141,10 +150,25 @@ def main(argv: list[str] | None = None) -> int:
     obs.add_argument("--packet-length", type=int, default=5)
     _add_run_flags(obs)
 
+    attribute = sub.add_parser(
+        "attribute",
+        help="decompose one (config, load) point's latency into components",
+    )
+    attribute.add_argument("config")
+    attribute.add_argument("load", type=float)
+    attribute.add_argument("--packet-length", type=int, default=5)
+    attribute.add_argument(
+        "--versus",
+        help="second configuration measured at the same load and seed, "
+        "reported side by side (FR against VC is the paper's comparison)",
+    )
+    _add_run_flags(attribute)
+
     sat = sub.add_parser("saturate", help="find saturation throughput")
     sat.add_argument("config")
     sat.add_argument("--packet-length", type=int, default=5)
     sat.add_argument("--low", type=float, default=0.30)
+    sat.add_argument("--attribution-out", default=argparse.SUPPRESS)
 
     sub.add_parser("occupancy", help="Section 4.2 buffer-pool occupancy study")
     sub.add_parser("lead", help="Section 4.4 control-lead study")
@@ -153,6 +177,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("config")
     sweep.add_argument("--loads", default="0.1,0.3,0.5,0.63,0.72,0.8")
     sweep.add_argument("--packet-length", type=int, default=5)
+    sweep.add_argument("--attribution-out", default=argparse.SUPPRESS)
 
     trace = sub.add_parser("trace", help="print one packet's event timeline")
     trace.add_argument("config")
@@ -168,14 +193,27 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.analyze:
         _run_analysis_gates()
-    wants_obs = bool(
+    wants_exports = bool(
         args.trace_out or args.metrics_out or args.events_out or args.profile
     )
-    if wants_obs and args.command not in ("point", "obs"):
+    wants_attribution = getattr(args, "attribution_out", None) is not None
+    if wants_exports and args.command not in ("point", "obs", "attribute"):
         raise SystemExit(
             "--trace-out/--metrics-out/--events-out/--profile apply to the "
-            "`obs` and `point` commands only"
+            "`obs`, `point`, and `attribute` commands only"
         )
+    if wants_attribution and args.command not in (
+        "point",
+        "obs",
+        "attribute",
+        "sweep",
+        "saturate",
+    ):
+        raise SystemExit(
+            "--attribution-out applies to the `point`, `obs`, `attribute`, "
+            "`sweep`, and `saturate` commands only"
+        )
+    wants_obs = wants_exports or wants_attribution
     if args.command == "table1":
         print(format_table1(table1()))
     elif args.command == "table2":
@@ -222,6 +260,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(result.summary())
         _finalize_obs(session, args, argv)
+    elif args.command == "attribute":
+        _attribute(args, argv)
     elif args.command == "saturate":
         result = find_saturation(
             _config(args.config),
@@ -230,6 +270,7 @@ def main(argv: list[str] | None = None) -> int:
             preset=args.preset,
             low=args.low,
             check_invariants=args.check_invariants,
+            attribute=wants_attribution,
         )
         print(
             f"{result.config_name}: saturation {result.saturation * 100:.0f}% of "
@@ -237,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         for offered, accepted in result.probes:
             print(f"  offered {offered:.3f} -> accepted {accepted:.3f}")
+        if wants_attribution:
+            _write_attribution(result.attribution, args)
     elif args.command == "occupancy":
         result = figures_module.section42_occupancy(
             preset=args.preset, seed=args.seed, check_invariants=args.check_invariants
@@ -256,8 +299,11 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             preset=args.preset,
             check_invariants=args.check_invariants,
+            attribute=wants_attribution,
         )
         print(sweep_result.format_table())
+        if wants_attribution:
+            _write_attribution(sweep_result.attribution, args)
     elif args.command == "trace":
         print(_trace(args))
     elif args.command == "utilization":
@@ -279,6 +325,7 @@ def _add_run_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--metrics-out", default=suppress)
     subparser.add_argument("--events-out", default=suppress)
     subparser.add_argument("--profile", action="store_true", default=suppress)
+    subparser.add_argument("--attribution-out", default=suppress)
     subparser.add_argument("--manifest-out", default=suppress)
     subparser.add_argument("--bench-out", default=suppress)
     subparser.add_argument("--sample-every", type=int, default=suppress)
@@ -310,6 +357,7 @@ def _obs_session(args: argparse.Namespace, defaults: bool = False) -> "ObsSessio
         trace_out=trace_out,
         metrics_out=metrics_out,
         profile=profile,
+        attribution_out=args.attribution_out,
         manifest_out=args.manifest_out,
         bench_out=args.bench_out,
         sample_every=args.sample_every,
@@ -333,6 +381,87 @@ def _finalize_obs(
         print(f"  {kind}: {artifacts[kind]}")
     if session.profiler is not None:
         print(f"  simulator: {session.profiler.cycles_per_second:,.0f} cycles/sec")
+
+
+def _attribute(args: argparse.Namespace, argv: list[str] | None) -> None:
+    """Run `frfc attribute`: one observed point per config, table + JSON."""
+    from repro.obs.report import format_attribution_table, write_attribution_json
+    from repro.obs.session import ObsSession
+
+    wants_exports = bool(
+        args.trace_out or args.metrics_out or args.events_out or args.profile
+    )
+    out = args.attribution_out if args.attribution_out is not None else "attribution.json"
+    names = [args.config] + ([args.versus] if args.versus else [])
+    summaries = []
+    for index, name in enumerate(names):
+        primary = index == 0
+        # The primary config owns the export flags; the --versus run only
+        # attributes (attribution_out="" builds the attributor without an
+        # auto-written artifact -- one JSON below covers both runs).
+        session = ObsSession(
+            events_out=args.events_out if primary else None,
+            trace_out=args.trace_out if primary else None,
+            metrics_out=args.metrics_out if primary else None,
+            profile=bool(args.profile) if primary else False,
+            attribution_out="",
+            manifest_out=args.manifest_out if primary and wants_exports else "",
+            bench_out=args.bench_out,
+            sample_every=args.sample_every,
+            capacity=args.event_capacity,
+        )
+        result = run_experiment(
+            _config(name),
+            args.load,
+            packet_length=args.packet_length,
+            seed=args.seed,
+            preset=args.preset,
+            check_invariants=args.check_invariants,
+            obs=session,
+        )
+        print(result.summary())
+        summary = session.attribution_summary(
+            label=f"{result.config_name} load={args.load:.2f}"
+        )
+        if summary is not None:
+            summaries.append(summary)
+        if primary and wants_exports:
+            _finalize_obs(session, args, argv)
+    if not summaries:
+        raise SystemExit("no packets were delivered; nothing to attribute")
+    print()
+    print(format_attribution_table(summaries))
+    write_attribution_json(
+        summaries,
+        out,
+        context={
+            "seed": args.seed,
+            "preset": args.preset,
+            "offered_load": args.load,
+            "packet_length": args.packet_length,
+            "command": "frfc " + " ".join(argv if argv is not None else sys.argv[1:]),
+        },
+    )
+    print(f"  attribution: {out}")
+
+
+def _write_attribution(
+    summaries: list["AttributionSummary"], args: argparse.Namespace
+) -> None:
+    """Print and write the attribution gathered across a sweep/saturate run."""
+    from repro.obs.report import format_attribution_table, write_attribution_json
+
+    if not summaries:
+        print("  attribution: no packets were delivered; nothing to attribute")
+        return
+    print()
+    print(format_attribution_table(summaries))
+    write_attribution_json(
+        summaries,
+        args.attribution_out,
+        context={"seed": args.seed, "preset": args.preset},
+    )
+    print(f"  attribution: {args.attribution_out}")
 
 
 def _run_analysis_gates() -> None:

@@ -13,7 +13,7 @@ robustness cross-check; for well-behaved networks knee and plateau agree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.harness.experiment import AnyConfig, build_network
 from repro.harness.presets import MeasurementPreset, get_preset
@@ -21,6 +21,10 @@ from repro.sim.invariants import InvariantChecker
 from repro.sim.kernel import Simulator
 from repro.stats.warmup import WarmupDetector
 from repro.topology.mesh import Mesh2D
+
+if TYPE_CHECKING:
+    from repro.obs.report import AttributionSummary
+    from repro.obs.session import ObsSession
 
 
 @dataclass
@@ -32,6 +36,9 @@ class SaturationResult:
     knee: float  # largest offered load still delivered in full
     plateau: float  # maximum accepted load observed at any probe
     probes: list[tuple[float, float]] = field(default_factory=list)  # (offered, accepted)
+    #: One attribution rollup per probe (populated when ``attribute`` was
+    #: requested), sorted by offered load like ``probes``.
+    attribution: list["AttributionSummary"] = field(default_factory=list)
 
     @property
     def saturation(self) -> float:
@@ -47,13 +54,15 @@ def measure_throughput(
     preset: str | MeasurementPreset = "standard",
     mesh: Mesh2D | None = None,
     check_invariants: bool = False,
+    obs: Optional["ObsSession"] = None,
     **kwargs: Any,
 ) -> float:
     """Accepted load (fraction of capacity) at one offered load.
 
     Runs warm-up plus a fixed measurement window and counts ejected flits;
     no packet-sample drain, so oversaturated loads cost the same as light
-    ones.
+    ones.  With ``obs`` the probe attaches for the run (the caller
+    finalizes artifacts afterwards), same contract as ``run_experiment``.
     """
     preset = get_preset(preset)
     mesh = mesh or Mesh2D(8, 8)
@@ -61,15 +70,31 @@ def measure_throughput(
         config, offered_load, packet_length=packet_length, seed=seed, mesh=mesh, **kwargs
     )
     checker = InvariantChecker() if check_invariants else None
-    simulator = Simulator(network, checker=checker)
-    detector = WarmupDetector(min_cycles=preset.min_warmup, window=preset.warmup_window)
-    while simulator.cycle < preset.max_warmup:
-        simulator.step()
-        if detector.record(network.mean_source_queue_length(), simulator.cycle):
-            break
-    start = simulator.cycle
-    network.set_measure_window(start, start + preset.throughput_cycles)
-    simulator.step(preset.throughput_cycles)
+    if obs is not None:
+        obs.attach(network)
+        simulator = Simulator(
+            network, checker=checker, observers=obs.observers, profiler=obs.profiler
+        )
+        obs.enter_phase("warmup")
+    else:
+        simulator = Simulator(network, checker=checker)
+    try:
+        detector = WarmupDetector(
+            min_cycles=preset.min_warmup, window=preset.warmup_window
+        )
+        while simulator.cycle < preset.max_warmup:
+            simulator.step()
+            if detector.record(network.mean_source_queue_length(), simulator.cycle):
+                break
+        start = simulator.cycle
+        network.set_measure_window(start, start + preset.throughput_cycles)
+        if obs is not None:
+            obs.note_window(start, start + preset.throughput_cycles)
+            obs.enter_phase("sample")
+        simulator.step(preset.throughput_cycles)
+    finally:
+        if obs is not None:
+            obs.detach()
     return network.throughput.flits_per_node_per_cycle / mesh.capacity_flits_per_node()
 
 
@@ -82,6 +107,7 @@ def find_saturation(
     high: float = 1.0,
     resolution: float = 0.02,
     delivery_tolerance: float = 0.03,
+    attribute: bool = False,
     **kwargs: Any,
 ) -> SaturationResult:
     """Bisect for the saturation knee of one configuration.
@@ -90,14 +116,36 @@ def find_saturation(
     30% holds for every configuration in the paper); ``high`` an offered
     load at or beyond saturation.  A probe is *stable* when accepted is
     within ``delivery_tolerance`` of offered.
+
+    With ``attribute`` every probe runs with a latency attributor attached
+    and the result carries one attribution summary per probe -- the
+    component mix on the way into saturation.
     """
     probes: list[tuple[float, float]] = []
+    summaries: list[tuple[float, "AttributionSummary"]] = []
 
     def stable(load: float) -> bool:
+        session = None
+        if attribute:
+            from repro.harness.sweep import _attribution_session
+
+            session = _attribution_session()
         accepted = measure_throughput(
-            config, load, packet_length=packet_length, seed=seed, preset=preset, **kwargs
+            config,
+            load,
+            packet_length=packet_length,
+            seed=seed,
+            preset=preset,
+            obs=session,
+            **kwargs,
         )
         probes.append((load, accepted))
+        if session is not None:
+            summary = session.attribution_summary(
+                label=f"{_config_name(config)} load={load:.2f}"
+            )
+            if summary is not None:
+                summaries.append((load, summary))
         return accepted >= load * (1.0 - delivery_tolerance)
 
     if not stable(low):
@@ -122,6 +170,7 @@ def find_saturation(
         knee=low,
         plateau=plateau,
         probes=sorted(probes),
+        attribution=[summary for _, summary in sorted(summaries, key=lambda s: s[0])],
     )
 
 

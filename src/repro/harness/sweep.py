@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.harness.experiment import AnyConfig, ExperimentResult, run_experiment
 from repro.harness.presets import MeasurementPreset
+
+if TYPE_CHECKING:
+    from repro.obs.report import AttributionSummary
+    from repro.obs.session import ObsSession
 
 
 @dataclass
@@ -16,6 +20,9 @@ class LoadSweepResult:
     config_name: str
     packet_length: int
     points: list[ExperimentResult] = field(default_factory=list)
+    #: One attribution rollup per point (populated when ``attribute`` was
+    #: requested) -- where each added cycle of latency goes as load rises.
+    attribution: list["AttributionSummary"] = field(default_factory=list)
 
     def offered_loads(self) -> list[float]:
         return [point.offered_load for point in self.points]
@@ -56,6 +63,7 @@ def run_load_sweep(
     seed: int = 1,
     preset: str | MeasurementPreset = "standard",
     stop_when_saturated: bool = True,
+    attribute: bool = False,
     **kwargs: Any,
 ) -> LoadSweepResult:
     """Measure one configuration across ascending offered loads.
@@ -63,19 +71,38 @@ def run_load_sweep(
     When ``stop_when_saturated`` is set, the sweep records one point past
     saturation (so the curve shows the blow-up) and stops, saving the cost
     of deeply oversaturated runs that add nothing to the figure.
+
+    With ``attribute`` each point runs with a latency attributor attached
+    and the result carries one attribution summary per point, so the sweep
+    shows which component absorbs the added latency as load rises.
     """
     result = LoadSweepResult(config_name="", packet_length=packet_length)
     for load in sorted(loads):
+        session = _attribution_session() if attribute else None
         point = run_experiment(
             config,
             load,
             packet_length=packet_length,
             seed=seed,
             preset=preset,
+            obs=session,
             **kwargs,
         )
         result.config_name = point.config_name
         result.points.append(point)
+        if session is not None:
+            summary = session.attribution_summary(
+                label=f"{point.config_name} load={load:.2f}"
+            )
+            if summary is not None:
+                result.attribution.append(summary)
         if stop_when_saturated and point.saturated:
             break
     return result
+
+
+def _attribution_session() -> "ObsSession":
+    """An ObsSession that only attributes: no artifacts, no manifest."""
+    from repro.obs.session import ObsSession
+
+    return ObsSession(attribution_out="", manifest_out="")

@@ -5,7 +5,7 @@ nothing is attached the networks run exactly as before (digest-identical,
 see ``tests/obs/test_detached.py``), and when something is attached it may
 record but never influence a routing, scheduling, or arbitration decision.
 
-The layer has four parts:
+The layer has five parts:
 
 * :mod:`repro.obs.events` -- the typed event taxonomy and the
   :class:`~repro.obs.events.EventBus` that fans events out to subscribers;
@@ -15,6 +15,11 @@ The layer has four parts:
 * :mod:`repro.obs.metrics` -- the :class:`~repro.obs.metrics.MetricsRegistry`
   of counters, gauges, and per-cycle histograms with the built-in
   channel-utilization / occupancy / stall / backpressure instruments;
+* :mod:`repro.obs.attribution` (+ :mod:`repro.obs.report`) -- the
+  :class:`~repro.obs.attribution.LatencyAttributor` that reconstructs each
+  packet's critical path from bus events and decomposes its latency into
+  components that sum exactly to the measured value, plus the aggregate
+  tables, JSON artifact, and Perfetto waterfall built on top;
 * :mod:`repro.obs.exporters` (+ :mod:`repro.obs.manifest`,
   :mod:`repro.obs.profile`, :mod:`repro.obs.session`) -- JSONL, Chrome
   trace-event, and CSV timeseries writers, the reproducibility manifest,
@@ -25,6 +30,12 @@ See ``docs/observability.md`` for the event taxonomy, the metrics catalog,
 and a Perfetto walkthrough.
 """
 
+from repro.obs.attribution import (
+    COMPONENTS,
+    LatencyAttributor,
+    PacketAttribution,
+    Segment,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     EventBus,
@@ -34,21 +45,39 @@ from repro.obs.events import (
 from repro.obs.metrics import Counter, Gauge, CycleHistogram, MetricsRegistry
 from repro.obs.probe import NetworkProbe
 from repro.obs.profile import SimProfiler
+from repro.obs.report import (
+    ATTRIBUTION_SCHEMA,
+    AttributionSummary,
+    ComponentStats,
+    format_attribution_table,
+    validate_attribution,
+    write_attribution_json,
+)
 from repro.obs.session import ObsSession
 from repro.obs.trace import TraceEvent, TraceLog
 
 __all__ = [
-    "EVENT_KINDS",
+    "ATTRIBUTION_SCHEMA",
+    "AttributionSummary",
+    "COMPONENTS",
+    "ComponentStats",
     "Counter",
     "CycleHistogram",
+    "EVENT_KINDS",
     "EventBus",
     "EventCollector",
     "Gauge",
+    "LatencyAttributor",
     "MetricsRegistry",
     "NetworkEvent",
     "NetworkProbe",
     "ObsSession",
+    "PacketAttribution",
+    "Segment",
     "SimProfiler",
     "TraceEvent",
     "TraceLog",
+    "format_attribution_table",
+    "validate_attribution",
+    "write_attribution_json",
 ]

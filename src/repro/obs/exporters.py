@@ -13,7 +13,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.obs.events import (
     DATA_EJECT,
@@ -21,6 +21,9 @@ from repro.obs.events import (
     PACKET_DELIVERED,
     NetworkEvent,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.attribution import PacketAttribution
 
 
 def write_events_jsonl(events: Iterable[NetworkEvent], path: str | Path) -> int:
@@ -38,6 +41,7 @@ def write_chrome_trace(
     events: Iterable[NetworkEvent],
     path: str | Path,
     run_name: str = "frfc",
+    attribution: Iterable["PacketAttribution"] | None = None,
 ) -> int:
     """Write a Perfetto-loadable Chrome trace-event JSON file.
 
@@ -45,8 +49,11 @@ def write_chrome_trace(
     node.  Every network event becomes a thread-scoped instant event, and
     every packet becomes an async span (``ph`` "b"/"e", id = packet id)
     from its creation to its delivery -- so Perfetto shows packet lifetimes
-    as bars with the per-node event stream underneath.  Returns the number
-    of trace records written.
+    as bars with the per-node event stream underneath.  When attribution
+    records are supplied, each packet's latency components are emitted as
+    nested async sub-spans (same category and id as the packet span), so
+    Perfetto stacks a per-packet latency waterfall under every packet bar.
+    Returns the number of trace records written.
     """
     records: list[dict[str, Any]] = [
         {
@@ -112,6 +119,10 @@ def write_chrome_trace(
                 "args": args,
             }
         )
+    if attribution is not None:
+        from repro.obs.report import iter_waterfall_records
+
+        records.extend(iter_waterfall_records(attribution))
     for node in sorted(nodes_seen):
         records.append(
             {

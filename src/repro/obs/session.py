@@ -4,11 +4,15 @@ An :class:`ObsSession` bundles the bus, collector, metrics registry, and
 profiler that one instrumented run needs, derived from which outputs the
 caller asked for:
 
-* ``events_out``  -> JSONL event log (every kind);
-* ``trace_out``   -> Chrome trace-event JSON (Perfetto-loadable);
-* ``metrics_out`` -> CSV timeseries from the metrics registry;
-* ``profile``     -> ``BENCH_obs.json`` with cycles/sec per phase;
-* a manifest is always written alongside whichever artifacts exist.
+* ``events_out``      -> JSONL event log (every kind);
+* ``trace_out``       -> Chrome trace-event JSON (Perfetto-loadable);
+* ``metrics_out``     -> CSV timeseries from the metrics registry;
+* ``profile``         -> ``BENCH_obs.json`` with cycles/sec per phase;
+* ``attribution_out`` -> per-component latency attribution JSON
+  (``frfc-attribution/1``); when a trace is also requested, the trace
+  gains per-packet component waterfalls;
+* a manifest is always written alongside whichever artifacts exist
+  (set ``manifest_out=""`` to suppress it).
 
 Usage::
 
@@ -25,12 +29,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.obs.attribution import LatencyAttributor
 from repro.obs.events import EventBus, EventCollector
 from repro.obs.exporters import write_chrome_trace, write_events_jsonl, write_metrics_csv
 from repro.obs.manifest import build_manifest, write_manifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import NetworkProbe
 from repro.obs.profile import SimProfiler
+from repro.obs.report import AttributionSummary, write_attribution_json
 
 if TYPE_CHECKING:
     from repro.sim.kernel import CycleHook
@@ -46,6 +52,7 @@ class ObsSession:
         trace_out: str | None = None,
         metrics_out: str | None = None,
         profile: bool = False,
+        attribution_out: str | None = None,
         manifest_out: str = "obs_manifest.json",
         bench_out: str = "BENCH_obs.json",
         sample_every: int = 100,
@@ -54,6 +61,7 @@ class ObsSession:
         self.events_out = events_out
         self.trace_out = trace_out
         self.metrics_out = metrics_out
+        self.attribution_out = attribution_out
         self.manifest_out = manifest_out
         self.bench_out = bench_out
         self.bus = EventBus()
@@ -61,6 +69,9 @@ class ObsSession:
         if events_out or trace_out:
             self.collector = EventCollector(capacity)
             self.bus.subscribe_all(self.collector)
+        self.attributor: LatencyAttributor | None = None
+        if attribution_out is not None:
+            self.attributor = LatencyAttributor(self.bus, capacity=capacity)
         self.registry: MetricsRegistry | None = None
         if metrics_out:
             self.registry = MetricsRegistry(sample_every)
@@ -78,6 +89,11 @@ class ObsSession:
         if self.profiler is not None:
             self.profiler.enter_phase(name)
 
+    def note_window(self, start: int, end: int) -> None:
+        """Record the measurement window (attribution separates warmup)."""
+        if self.attributor is not None:
+            self.attributor.note_window(start, end)
+
     # -- lifecycle ----------------------------------------------------------
 
     def attach(self, network: "NetworkModel") -> "ObsSession":
@@ -85,7 +101,9 @@ class ObsSession:
         if self._network is not None:
             raise RuntimeError("observability session already attached")
         self._network = network
-        if self.collector is not None:
+        if self.attributor is not None:
+            self.attributor.configure_for(network)
+        if self.collector is not None or self.attributor is not None:
             self._probe = NetworkProbe(self.bus).attach(network)
         if self.registry is not None:
             self.registry.install_standard_instruments(network)
@@ -120,18 +138,37 @@ class ObsSession:
             write_events_jsonl(self.collector, self.events_out)
             artifacts["events"] = self.events_out
         if self.trace_out and self.collector is not None:
-            write_chrome_trace(self.collector, self.trace_out, run_name=run_name)
+            waterfall = self.attributor.records if self.attributor else None
+            write_chrome_trace(
+                self.collector, self.trace_out, run_name=run_name, attribution=waterfall
+            )
             artifacts["trace"] = self.trace_out
         if self.metrics_out and self.registry is not None:
             write_metrics_csv(self.registry.timeseries, self.metrics_out)
             artifacts["metrics"] = self.metrics_out
+        if self.attribution_out and self.attributor is not None:
+            summary = self.attribution_summary(
+                label=self._summary_label(config, offered_load)
+            )
+            if summary is not None:
+                write_attribution_json(
+                    [summary],
+                    self.attribution_out,
+                    context={
+                        "seed": seed,
+                        "preset": preset,
+                        "offered_load": offered_load,
+                        "packet_length": packet_length,
+                    },
+                )
+                artifacts["attribution"] = self.attribution_out
         if self.profiler is not None:
             bench = self.profiler.report()
             if extra:
                 bench = {**bench, **dict(extra)}
             write_manifest(bench, self.bench_out)
             artifacts["bench"] = self.bench_out
-        if artifacts or self.manifest_out:
+        if self.manifest_out:
             mesh = ""
             if network is not None:
                 mesh = f"{network.mesh.width}x{network.mesh.height}"
@@ -151,3 +188,16 @@ class ObsSession:
             write_manifest(manifest, self.manifest_out)
             artifacts["manifest"] = self.manifest_out
         return artifacts
+
+    def attribution_summary(self, label: str = "") -> AttributionSummary | None:
+        """Roll the attributor's records up (None when nothing was recorded)."""
+        if self.attributor is None or not self.attributor.records:
+            return None
+        return AttributionSummary.from_attributor(self.attributor, label=label)
+
+    @staticmethod
+    def _summary_label(config: Any, offered_load: float | None) -> str:
+        name = getattr(config, "name", None) or type(config).__name__
+        if offered_load is None:
+            return str(name)
+        return f"{name} load={offered_load:.2f}"

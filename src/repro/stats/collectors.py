@@ -14,43 +14,111 @@ Each collector is a small accumulator the networks feed during simulation:
 from __future__ import annotations
 
 import math
+from statistics import NormalDist
 
 from repro.stats.confidence import mean_and_halfwidth
+from repro.stats.streaming import P2Quantile, RunningMoments
+
+#: Quantiles a streaming ``LatencyStats`` tracks by default (as ``q`` of
+#: ``percentile(q)``): the median, the paper-reported p95, and the tail.
+DEFAULT_TRACKED_QUANTILES: tuple[float, ...] = (50.0, 95.0, 99.0)
 
 
 class LatencyStats:
-    """Accumulates per-packet latencies and summarises them."""
+    """Accumulates per-packet latencies and summarises them.
 
-    def __init__(self) -> None:
+    The default mode keeps every sample: percentiles, histograms, and the
+    batch-means confidence interval are exact.  ``streaming=True`` swaps the
+    sample list for O(1)-memory estimators (Welford moments plus one P²
+    marker set per tracked quantile) for runs too long to hold in memory;
+    in that mode ``percentile`` serves only the ``tracked_quantiles`` (plus
+    0 and 100, which are exact), the confidence half-width falls back to
+    the normal approximation (correlated samples may understate it -- use
+    the exact mode for publishable intervals), and ``histogram`` /
+    ``samples`` are unavailable.
+    """
+
+    def __init__(
+        self,
+        streaming: bool = False,
+        tracked_quantiles: tuple[float, ...] = DEFAULT_TRACKED_QUANTILES,
+    ) -> None:
+        self.streaming = streaming
         self._samples: list[int] = []
+        self._moments: RunningMoments | None = None
+        self._estimators: dict[float, P2Quantile] = {}
+        self._minimum = 0
+        self._maximum = 0
+        if streaming:
+            for q in tracked_quantiles:
+                if not 0.0 < q < 100.0:
+                    raise ValueError(
+                        f"tracked quantiles must be in (0, 100), got {q}"
+                    )
+            self._moments = RunningMoments()
+            self._estimators = {q: P2Quantile(q / 100.0) for q in tracked_quantiles}
 
     def record(self, latency: int) -> None:
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
-        self._samples.append(latency)
+        if self._moments is None:
+            self._samples.append(latency)
+            return
+        if self._moments.count == 0:
+            self._minimum = latency
+            self._maximum = latency
+        else:
+            self._minimum = min(self._minimum, latency)
+            self._maximum = max(self._maximum, latency)
+        self._moments.observe(latency)
+        for estimator in self._estimators.values():
+            estimator.observe(latency)
 
     @property
     def count(self) -> int:
+        if self._moments is not None:
+            return self._moments.count
         return len(self._samples)
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        if self.count == 0:
             raise ValueError("no latency samples recorded")
+        if self._moments is not None:
+            return self._moments.mean
         return sum(self._samples) / len(self._samples)
 
     @property
     def maximum(self) -> int:
-        if not self._samples:
+        if self.count == 0:
             raise ValueError("no latency samples recorded")
+        if self._moments is not None:
+            return self._maximum
         return max(self._samples)
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile, ``q`` in [0, 100]."""
-        if not self._samples:
+        """Linear-interpolated percentile, ``q`` in [0, 100].
+
+        Exact in the default mode.  In streaming mode only the tracked
+        quantiles are served (P² estimates; 0 and 100 are exact).
+        """
+        if self.count == 0:
             raise ValueError("no latency samples recorded")
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self._moments is not None:
+            if q == 0.0:
+                return float(self._minimum)
+            if q == 100.0:
+                return float(self._maximum)
+            estimator = self._estimators.get(q)
+            if estimator is None:
+                tracked = ", ".join(f"{t:g}" for t in sorted(self._estimators))
+                raise ValueError(
+                    f"streaming mode tracks only quantiles [{tracked}] "
+                    f"(plus 0 and 100); {q:g} was not configured"
+                )
+            return estimator.value
         ordered = sorted(self._samples)
         position = (len(ordered) - 1) * q / 100.0
         low = math.floor(position)
@@ -62,13 +130,25 @@ class LatencyStats:
 
     def confidence_halfwidth(self, level: float = 0.95) -> float:
         """Half-width of the CI of the mean (batch means, so correlated
-        samples from one run do not understate the error)."""
+        samples from one run do not understate the error).
+
+        Streaming mode cannot batch, so it falls back to the i.i.d. normal
+        approximation ``z * s / sqrt(n)`` -- an *approximation* that
+        understates the error of correlated within-run samples.
+        """
+        if self._moments is not None:
+            if self._moments.count < 2:
+                raise ValueError("need at least 2 samples for a confidence interval")
+            z = NormalDist().inv_cdf((1.0 + level) / 2.0)
+            return z * self._moments.stddev / math.sqrt(self._moments.count)
         _, halfwidth = mean_and_halfwidth(self._samples, level=level)
         return halfwidth
 
     @property
     def stddev(self) -> float:
         """Sample standard deviation of the latencies."""
+        if self._moments is not None:
+            return self._moments.stddev
         n = len(self._samples)
         if n < 2:
             raise ValueError("need at least 2 samples for a standard deviation")
@@ -81,6 +161,8 @@ class LatencyStats:
         Empty bins inside the range are included so the shape (e.g. the
         heavy saturation tail) reads correctly when printed.
         """
+        if self._moments is not None:
+            raise ValueError("streaming mode keeps no samples; no histogram")
         if not self._samples:
             raise ValueError("no latency samples recorded")
         if bin_width < 1:
@@ -103,7 +185,9 @@ class LatencyStats:
         return "\n".join(lines)
 
     def samples(self) -> list[int]:
-        """A copy of the raw sample list."""
+        """A copy of the raw sample list (default mode only)."""
+        if self._moments is not None:
+            raise ValueError("streaming mode keeps no samples")
         return list(self._samples)
 
 

@@ -1,0 +1,72 @@
+"""CLI tests for `frfc attribute` and the --attribution-out plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import runner
+from repro.obs.report import validate_attribution
+
+
+class TestAttributeCommand:
+    def test_attribute_versus_prints_table_and_writes_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            runner.main(
+                [
+                    "--preset",
+                    "quick",
+                    "attribute",
+                    "FR6",
+                    "0.3",
+                    "--versus",
+                    "VC8",
+                    "--attribution-out",
+                    "attribution.json",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # One summary line per config, then the side-by-side table.
+        assert "FR6 load=0.30" in out and "VC8 load=0.30" in out
+        assert "reservation_wait" in out and "turnaround_stall" in out
+        assert "total" in out
+        payload = json.loads((tmp_path / "attribution.json").read_text())
+        validate_attribution(payload)
+        fr, vc = payload["summaries"]
+        assert fr["model"] == "fr" and vc["model"] == "vc"
+        # The paper's mechanism, as exported numbers.
+        assert fr["components"]["turnaround_stall"]["mean"] == 0
+        assert fr["components"]["routing_arbitration"]["mean"] == 0
+        assert vc["components"]["turnaround_stall"]["mean"] > 0
+        assert vc["components"]["reservation_wait"]["mean"] == 0
+
+    def test_point_attribution_out_adds_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            runner.main(
+                [
+                    "--preset",
+                    "quick",
+                    "point",
+                    "FR6",
+                    "0.3",
+                    "--attribution-out",
+                    "pt.json",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "attribution: pt.json" in out
+        payload = json.loads((tmp_path / "pt.json").read_text())
+        validate_attribution(payload)
+        manifest = json.loads((tmp_path / "obs_manifest.json").read_text())
+        assert manifest["artifacts"]["attribution"] == "pt.json"
+
+    def test_attribution_out_rejected_on_unrelated_commands(self):
+        with pytest.raises(SystemExit, match="attribution-out"):
+            runner.main(["--attribution-out", "x.json", "table1"])

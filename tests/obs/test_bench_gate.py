@@ -1,0 +1,124 @@
+"""The benchmark-trajectory gate: record/check semantics.
+
+The real workload takes seconds, so these tests stub ``run_benchmark``
+with synthetic profiler reports and exercise the gate logic: baseline
+writing, trajectory appending, ratio math, and the loud failure modes
+(regression, schema drift, workload drift).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def gate():
+    """Import tools/bench_gate.py by file path (tools/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_gate_cli", REPO / "tools" / "bench_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _report(cps: float, cycles: int = 1844) -> dict:
+    wall = cycles / cps
+    return {
+        "schema": "frfc-obs-bench/1",
+        "cycles": cycles,
+        "wall_seconds": round(wall, 6),
+        "cycles_per_second": cps,
+        "phases": {
+            "warmup": {"cycles": cycles // 2, "wall_seconds": wall / 2,
+                       "cycles_per_second": cps},
+            "sample": {"cycles": cycles // 2, "wall_seconds": wall / 2,
+                       "cycles_per_second": cps},
+        },
+        "workload": {"config": "FR6", "offered_load": 0.5, "preset": "quick",
+                     "seed": 1},
+        "packets_measured": 3777,
+    }
+
+
+def _paths(gate, tmp_path, monkeypatch, cps: float):
+    monkeypatch.setattr(gate, "run_benchmark", lambda: _report(cps))
+    monkeypatch.setattr(gate, "git_sha", lambda: "f" * 40)
+    return [
+        "--baseline", str(tmp_path / "BENCH_5.json"),
+        "--trajectory", str(tmp_path / "BENCH_trajectory.jsonl"),
+    ]
+
+
+def test_record_writes_baseline_and_appends_trajectory(gate, tmp_path, monkeypatch, capsys):
+    flags = _paths(gate, tmp_path, monkeypatch, cps=250.0)
+    assert gate.main(flags + ["record"]) == 0
+    assert gate.main(flags + ["record"]) == 0
+    baseline = json.loads((tmp_path / "BENCH_5.json").read_text())
+    assert baseline["schema"] == gate.BASELINE_SCHEMA
+    assert baseline["bench"]["cycles_per_second"] == 250.0
+    assert baseline["git_sha"] == "f" * 40
+    lines = (tmp_path / "BENCH_trajectory.jsonl").read_text().splitlines()
+    assert len(lines) == 2  # record appends, never rewrites
+    entry = json.loads(lines[-1])
+    assert entry["cycles_per_second"] == 250.0
+    assert "phase_cycles_per_second" in entry
+
+
+def test_check_passes_within_tolerance(gate, tmp_path, monkeypatch, capsys):
+    assert gate.main(_paths(gate, tmp_path, monkeypatch, 250.0) + ["record"]) == 0
+    flags = _paths(gate, tmp_path, monkeypatch, 200.0)  # 0.8 ratio
+    assert gate.main(flags + ["check"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_check_fails_loudly_past_30_percent_regression(gate, tmp_path, monkeypatch, capsys):
+    assert gate.main(_paths(gate, tmp_path, monkeypatch, 250.0) + ["record"]) == 0
+    flags = _paths(gate, tmp_path, monkeypatch, 150.0)  # 0.6 ratio
+    assert gate.main(flags + ["check"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_check_custom_ratio(gate, tmp_path, monkeypatch):
+    assert gate.main(_paths(gate, tmp_path, monkeypatch, 250.0) + ["record"]) == 0
+    flags = _paths(gate, tmp_path, monkeypatch, 100.0)  # 0.4 ratio
+    assert gate.main(flags + ["check", "--min-ratio", "0.3"]) == 0
+    assert gate.main(flags + ["check", "--min-ratio", "0.5"]) == 1
+
+
+def test_check_without_baseline_fails(gate, tmp_path, monkeypatch, capsys):
+    flags = _paths(gate, tmp_path, monkeypatch, 250.0)
+    assert gate.main(flags + ["check"]) == 1
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_check_rejects_cycle_count_drift(gate, tmp_path, monkeypatch, capsys):
+    """Same speed but a different simulated cycle count means the workload
+    itself changed; the gate demands a fresh baseline instead of comparing
+    incomparable runs."""
+    assert gate.main(_paths(gate, tmp_path, monkeypatch, 250.0) + ["record"]) == 0
+    flags = _paths(gate, tmp_path, monkeypatch, 250.0)
+    monkeypatch.setattr(
+        gate, "run_benchmark", lambda: _report(250.0, cycles=9999)
+    )
+    assert gate.main(flags + ["check"]) == 1
+    assert "re-record" in capsys.readouterr().out
+
+
+def test_committed_baseline_matches_tool_workload(gate):
+    """The checked-in BENCH_5.json must describe the workload the tool runs
+    (otherwise CI compares apples to oranges)."""
+    baseline = json.loads((REPO / "benchmarks" / "results" / "BENCH_5.json").read_text())
+    assert baseline["schema"] == gate.BASELINE_SCHEMA
+    assert baseline["workload"] == gate.WORKLOAD
+    assert baseline["bench"]["cycles_per_second"] > 0
+    trajectory = (REPO / "benchmarks" / "results" / "BENCH_trajectory.jsonl").read_text()
+    assert trajectory.strip(), "trajectory must carry at least the first point"
+    for line in trajectory.splitlines():
+        json.loads(line)

@@ -1,0 +1,157 @@
+"""Attribution reports: aggregation math, table, JSON schema, waterfall."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.attribution import COMPONENTS, PacketAttribution, Segment
+from repro.obs.report import (
+    ATTRIBUTION_SCHEMA,
+    AttributionSummary,
+    build_attribution_report,
+    format_attribution_table,
+    iter_waterfall_records,
+    validate_attribution,
+    write_attribution_json,
+)
+
+
+def _record(
+    packet_id: int,
+    latency_parts: dict[str, int],
+    created: int = 0,
+    model: str = "fr",
+) -> PacketAttribution:
+    components = dict.fromkeys(COMPONENTS, 0)
+    components.update(latency_parts)
+    latency = sum(components.values())
+    segments = []
+    cursor = created
+    for name in COMPONENTS:
+        if components[name]:
+            segments.append(Segment(name, cursor, cursor + components[name], 0))
+            cursor += components[name]
+    return PacketAttribution(
+        packet_id=packet_id,
+        source=0,
+        destination=5,
+        created_cycle=created,
+        delivered_cycle=created + latency,
+        model=model,
+        critical_flit=0,
+        hops=2,
+        denies=0,
+        measured=True,
+        components=components,
+        segments=tuple(segments),
+    )
+
+
+RECORDS = [
+    _record(1, {"source_queueing": 4, "channel_traversal": 8, "reservation_wait": 2}),
+    _record(2, {"source_queueing": 6, "channel_traversal": 8, "reservation_wait": 0}),
+    _record(3, {"source_queueing": 5, "channel_traversal": 12, "reservation_wait": 4}),
+]
+
+
+def test_summary_mean_components_sum_to_mean_latency():
+    summary = AttributionSummary.from_records(RECORDS, label="FR6")
+    total = sum(summary.components[name].mean for name in COMPONENTS)
+    assert total == pytest.approx(summary.mean_latency)
+    assert summary.packets == 3
+    assert summary.model == "fr"
+    assert summary.mean_latency == pytest.approx((14 + 14 + 21) / 3)
+
+
+def test_summary_shares_sum_to_one():
+    summary = AttributionSummary.from_records(RECORDS)
+    assert sum(stats.share for stats in summary.components.values()) == pytest.approx(
+        1.0
+    )
+
+
+def test_summary_percentiles_and_max():
+    summary = AttributionSummary.from_records(RECORDS)
+    queueing = summary.components["source_queueing"]
+    assert queueing.p50 == 5.0
+    assert queueing.maximum == 6
+    assert summary.components["turnaround_stall"].maximum == 0
+
+
+def test_summary_rejects_empty():
+    with pytest.raises(ValueError, match="no attribution records"):
+        AttributionSummary.from_records([], label="empty")
+
+
+def test_mixed_models_labeled_mixed():
+    records = [RECORDS[0], _record(9, {"source_queueing": 3}, model="vc")]
+    assert AttributionSummary.from_records(records).model == "mixed"
+
+
+def test_table_side_by_side():
+    fr = AttributionSummary.from_records(RECORDS, label="FR6 load=0.30")
+    vc = AttributionSummary.from_records(
+        [_record(7, {"source_queueing": 4, "turnaround_stall": 6}, model="vc")],
+        label="VC8 load=0.30",
+    )
+    table = format_attribution_table([fr, vc])
+    lines = table.splitlines()
+    assert "FR6 load=0.30" in lines[0] and "VC8 load=0.30" in lines[0]
+    assert len(lines) == 2 + len(COMPONENTS) + 1  # header, rule, rows, total
+    for name in COMPONENTS:
+        assert any(line.startswith(name) for line in lines)
+    assert lines[-1].startswith("total")
+
+
+def test_json_round_trip_validates(tmp_path):
+    summary = AttributionSummary.from_records(RECORDS, label="FR6")
+    path = tmp_path / "attribution.json"
+    written = write_attribution_json([summary], path, context={"seed": 1})
+    loaded = json.loads(path.read_text())
+    assert loaded == written
+    assert loaded["schema"] == ATTRIBUTION_SCHEMA
+    assert loaded["context"] == {"seed": 1}
+    validate_attribution(loaded)
+
+
+def test_validate_rejects_wrong_schema():
+    payload = build_attribution_report([AttributionSummary.from_records(RECORDS)])
+    payload["schema"] = "frfc-attribution/0"
+    with pytest.raises(ValueError, match="schema"):
+        validate_attribution(payload)
+
+
+def test_validate_rejects_broken_conservation():
+    payload = build_attribution_report([AttributionSummary.from_records(RECORDS)])
+    payload["summaries"][0]["components"]["ejection"]["mean"] += 1.0
+    with pytest.raises(ValueError, match="sum"):
+        validate_attribution(payload)
+
+
+def test_validate_rejects_missing_component():
+    payload = build_attribution_report([AttributionSummary.from_records(RECORDS)])
+    del payload["summaries"][0]["components"]["ejection"]
+    with pytest.raises(ValueError, match="missing components"):
+        validate_attribution(payload)
+
+
+def test_validate_rejects_empty_summaries():
+    with pytest.raises(ValueError, match="no summaries"):
+        validate_attribution(
+            {"schema": ATTRIBUTION_SCHEMA, "component_order": list(COMPONENTS),
+             "summaries": []}
+        )
+
+
+def test_waterfall_records_nest_inside_packet_spans():
+    spans = list(iter_waterfall_records(RECORDS))
+    # One b/e pair per (nonzero) segment, same async track as the packet.
+    assert len(spans) == 2 * sum(len(record.segments) for record in RECORDS)
+    for begin, end in zip(spans[::2], spans[1::2]):
+        assert begin["ph"] == "b" and end["ph"] == "e"
+        assert begin["cat"] == end["cat"] == "packet"
+        assert begin["id"] == end["id"]
+        assert begin["name"] in COMPONENTS
+        assert end["ts"] > begin["ts"]

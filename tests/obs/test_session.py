@@ -136,3 +136,43 @@ class TestManifest:
     def test_build_manifest_reports_truncation(self) -> None:
         manifest = build_manifest(config={}, seed=1, events_dropped=42)
         assert manifest["events_dropped"] == 42
+
+
+class TestAttributionSession:
+    def test_attribution_artifact_and_waterfall(self, tmp_path) -> None:
+        from repro.obs.report import validate_attribution
+
+        session, artifacts = _observed_point(
+            tmp_path,
+            trace_out=str(tmp_path / "trace.json"),
+            attribution_out=str(tmp_path / "attribution.json"),
+        )
+        assert "attribution" in artifacts
+        payload = json.loads((tmp_path / "attribution.json").read_text())
+        validate_attribution(payload)
+        (summary,) = payload["summaries"]
+        assert summary["label"] == "FR6 load=0.30"
+        assert summary["model"] == "fr"
+        # note_window came from run_experiment, so warmup packets are
+        # excluded from the rollup (fewer than the attributor saw in total).
+        assert session.attributor is not None
+        assert summary["packets"] <= len(session.attributor.records)
+        # The trace nests component spans inside the packet async spans.
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        component_spans = [
+            record
+            for record in trace["traceEvents"]
+            if record.get("cat") == "packet"
+            and record["name"] in ("source_queueing", "reservation_wait",
+                                   "channel_traversal", "ejection")
+        ]
+        assert component_spans
+
+    def test_attribution_only_session_attaches_probe(self, tmp_path) -> None:
+        session, artifacts = _observed_point(
+            tmp_path, attribution_out=str(tmp_path / "a.json")
+        )
+        assert session.collector is None  # no event log kept...
+        assert session.attributor is not None  # ...but the probe fed records
+        assert session.attributor.records
+        assert set(artifacts) == {"attribution", "manifest"}

@@ -1,0 +1,112 @@
+"""Property: attribution conserves latency and observes without perturbing.
+
+Across seeds and all three flow-control models:
+
+* every delivered packet's components sum *exactly* to its end-to-end
+  latency (integer equality, no tolerance -- the decomposition is
+  telescoping milestones, so an off-by-one anywhere breaks the sum);
+* a run with an attributor attached is digest-identical to a run that
+  never saw one (same pure-observer guarantee the probe already proves),
+  and a constructed-but-never-attached attributor adds zero events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.permute import digest_network
+from repro.baselines.vc.config import VCConfig
+from repro.baselines.vc.network import VCNetwork
+from repro.baselines.wormhole.network import WormholeConfig, WormholeNetwork
+from repro.core.config import FRConfig
+from repro.core.network import FRNetwork
+from repro.obs.attribution import COMPONENTS, LatencyAttributor
+from repro.obs.events import EventBus
+from repro.obs.probe import NetworkProbe
+from repro.sim.kernel import Simulator
+from repro.topology.mesh import Mesh2D
+
+CYCLES = 500
+SEEDS = (3, 11, 42)
+
+
+def _build(model: str, seed: int):
+    if model == "fr":
+        return FRNetwork(
+            FRConfig(data_buffers_per_input=6),
+            mesh=Mesh2D(4, 4),
+            injection_rate=0.08,
+            seed=seed,
+        )
+    if model == "vc":
+        return VCNetwork(
+            VCConfig(num_vcs=2, buffers_per_vc=4),
+            mesh=Mesh2D(4, 4),
+            injection_rate=0.08,
+            seed=seed,
+        )
+    return WormholeNetwork(
+        WormholeConfig(buffers_per_input=8),
+        mesh=Mesh2D(4, 4),
+        injection_rate=0.08,
+        seed=seed,
+    )
+
+
+MODELS = ("fr", "vc", "wormhole")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("model", MODELS)
+def test_components_sum_exactly_for_every_packet(model: str, seed: int) -> None:
+    network = _build(model, seed)
+    bus = EventBus()
+    attributor = LatencyAttributor(bus).configure_for(network)
+    probe = NetworkProbe(bus).attach(network)
+    Simulator(network).step(CYCLES)
+    probe.detach()
+
+    assert attributor.records, f"{model} seed={seed}: no packets delivered"
+    assert attributor.unattributed == 0, attributor.last_failure
+    for record in attributor.records:
+        assert sum(record.components.values()) == record.latency, (
+            f"{model} seed={seed} packet {record.packet_id}: "
+            f"{record.components} != {record.latency}"
+        )
+        assert all(record.components[name] >= 0 for name in COMPONENTS)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("model", MODELS)
+def test_attached_attributor_changes_no_digest(model: str, seed: int) -> None:
+    baseline_network = _build(model, seed)
+    baseline_network.set_measure_window(0, CYCLES)
+    Simulator(baseline_network).step(CYCLES)
+    baseline = digest_network(baseline_network, CYCLES, "never-observed")
+
+    network = _build(model, seed)
+    network.set_measure_window(0, CYCLES)
+    bus = EventBus()
+    attributor = LatencyAttributor(bus).configure_for(network)
+    probe = NetworkProbe(bus).attach(network)
+    Simulator(network).step(CYCLES)
+    probe.detach()
+    observed = digest_network(network, CYCLES, "attributed")
+
+    assert attributor.records  # it really was watching
+    diff = baseline.diff_fields(observed)
+    assert not diff, f"attribution perturbed the run: {diff}"
+    assert baseline.hexdigest() == observed.hexdigest()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_detached_attributor_emits_nothing(model: str) -> None:
+    """An attributor on a bus nobody probes sees no events and costs the
+    network nothing (hooks stay None)."""
+    network = _build(model, SEEDS[0])
+    bus = EventBus()
+    attributor = LatencyAttributor(bus).configure_for(network)
+    Simulator(network).step(CYCLES)
+    assert not attributor.records
+    assert attributor.open_packets == 0
+    assert bus.events_emitted == 0

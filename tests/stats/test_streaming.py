@@ -1,0 +1,183 @@
+"""Streaming LatencyStats: exact mode unchanged, estimates within bound.
+
+The documented contract (``repro/stats/streaming.py``): on the unimodal,
+heavy-right-tailed distributions the simulator produces, P² lands within
+5% relative error (or 1 cycle absolute, whichever is larger) of the exact
+percentile at the tracked quantiles, and the Welford moments match the
+exact mean/stddev to floating-point precision.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.stats.collectors import DEFAULT_TRACKED_QUANTILES, LatencyStats
+from repro.stats.streaming import P2Quantile, RunningMoments
+
+
+def _latency_like(seed: int, n: int = 20_000) -> list[int]:
+    """Unimodal with a heavy right tail, like network latency samples."""
+    rng = random.Random(seed)
+    return [int(20 + rng.expovariate(1 / 15)) for _ in range(n)]
+
+
+# -- default mode must be byte-for-byte the old exact behavior ---------------
+
+
+def test_default_mode_is_exact_and_keeps_samples():
+    stats = LatencyStats()
+    for sample in [5, 3, 9, 3, 7]:
+        stats.record(sample)
+    assert stats.streaming is False
+    assert stats.samples() == [5, 3, 9, 3, 7]
+    assert stats.count == 5
+    assert stats.mean == pytest.approx(5.4)
+    assert stats.maximum == 9
+    assert stats.percentile(50) == 5.0
+    assert stats.percentile(0) == 3.0
+    assert stats.percentile(100) == 9.0
+    assert stats.histogram(bin_width=5) == [(0, 2), (5, 3)]
+
+
+def test_default_mode_serves_arbitrary_percentiles():
+    stats = LatencyStats()
+    for sample in range(101):
+        stats.record(sample)
+    assert stats.percentile(37.5) == pytest.approx(37.5)
+
+
+# -- streaming mode ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", (1, 7, 23))
+def test_streaming_percentiles_within_documented_bound(seed: int):
+    samples = _latency_like(seed)
+    exact = LatencyStats()
+    stream = LatencyStats(streaming=True)
+    for sample in samples:
+        exact.record(sample)
+        stream.record(sample)
+    for q in DEFAULT_TRACKED_QUANTILES:
+        reference = exact.percentile(q)
+        estimate = stream.percentile(q)
+        bound = max(0.05 * reference, 1.0)
+        assert abs(estimate - reference) <= bound, (
+            f"p{q:g}: estimate {estimate} vs exact {reference} (seed {seed})"
+        )
+
+
+def test_streaming_moments_match_exact():
+    samples = _latency_like(99)
+    exact = LatencyStats()
+    stream = LatencyStats(streaming=True)
+    for sample in samples:
+        exact.record(sample)
+        stream.record(sample)
+    assert stream.count == exact.count
+    assert stream.mean == pytest.approx(exact.mean)
+    assert stream.stddev == pytest.approx(exact.stddev)
+    assert stream.maximum == exact.maximum
+    assert stream.percentile(0) == min(samples)
+    assert stream.percentile(100) == max(samples)
+
+
+def test_streaming_is_exact_below_five_samples():
+    stream = LatencyStats(streaming=True)
+    for sample in [9, 1, 5]:
+        stream.record(sample)
+    assert stream.percentile(50) == 5.0
+    assert stream.mean == pytest.approx(5.0)
+
+
+def test_streaming_rejects_untracked_percentile():
+    stream = LatencyStats(streaming=True)
+    stream.record(4)
+    with pytest.raises(ValueError, match="tracks only"):
+        stream.percentile(42)
+
+
+def test_streaming_custom_tracked_quantiles():
+    stream = LatencyStats(streaming=True, tracked_quantiles=(75.0,))
+    for sample in range(1001):
+        stream.record(sample)
+    assert stream.percentile(75.0) == pytest.approx(750, rel=0.05)
+    with pytest.raises(ValueError, match="tracks only"):
+        stream.percentile(50)
+
+
+def test_streaming_keeps_no_samples():
+    stream = LatencyStats(streaming=True)
+    stream.record(3)
+    with pytest.raises(ValueError, match="no samples"):
+        stream.samples()
+    with pytest.raises(ValueError, match="no histogram"):
+        stream.histogram()
+
+
+def test_streaming_confidence_is_normal_approximation():
+    stream = LatencyStats(streaming=True)
+    rng = random.Random(5)
+    for _ in range(10_000):
+        stream.record(int(rng.gauss(50, 10)) if rng.random() else 50)
+    halfwidth = stream.confidence_halfwidth()
+    expected = 1.959964 * stream.stddev / math.sqrt(stream.count)
+    assert halfwidth == pytest.approx(expected)
+
+
+def test_streaming_rejects_bad_quantiles():
+    with pytest.raises(ValueError, match="tracked quantiles"):
+        LatencyStats(streaming=True, tracked_quantiles=(0.0,))
+    with pytest.raises(ValueError, match="tracked quantiles"):
+        LatencyStats(streaming=True, tracked_quantiles=(100.0,))
+
+
+def test_streaming_rejects_negative_latency():
+    stream = LatencyStats(streaming=True)
+    with pytest.raises(ValueError, match="negative"):
+        stream.record(-1)
+
+
+# -- the underlying estimators ----------------------------------------------
+
+
+def test_p2_memory_is_constant():
+    estimator = P2Quantile(0.95)
+    for value in _latency_like(3, n=50_000):
+        estimator.observe(value)
+    assert estimator.count == 50_000
+    assert len(estimator._heights) == 5
+    assert not estimator._initial or len(estimator._initial) == 5
+
+
+def test_p2_rejects_degenerate_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_p2_no_samples_raises():
+    with pytest.raises(ValueError, match="no samples"):
+        P2Quantile(0.5).value
+
+
+def test_running_moments_welford():
+    moments = RunningMoments()
+    samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    for sample in samples:
+        moments.observe(sample)
+    mean = sum(samples) / len(samples)
+    variance = sum((x - mean) ** 2 for x in samples) / (len(samples) - 1)
+    assert moments.mean == pytest.approx(mean)
+    assert moments.variance == pytest.approx(variance)
+    assert moments.stddev == pytest.approx(math.sqrt(variance))
+
+
+def test_running_moments_needs_two_samples():
+    moments = RunningMoments()
+    moments.observe(1.0)
+    with pytest.raises(ValueError):
+        moments.variance

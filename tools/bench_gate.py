@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Benchmark-trajectory regression gate for the simulator.
+
+The observability layer's ``SimProfiler`` measures simulator speed
+(cycles/sec per harness phase) on every observed run, but until now the
+number went nowhere: nothing was tracked, so a performance regression
+would drift in silently.  This tool closes the loop:
+
+``record``
+    Run the standard benchmark workload -- the observed quick point
+    (FR6, load 0.5, quick preset, seed 1) with only the profiler attached,
+    so the number is the raw simulator, not the event-bus overhead --
+    write the baseline (``benchmarks/results/BENCH_5.json``) and append
+    one line to the trajectory log
+    (``benchmarks/results/BENCH_trajectory.jsonl``).  Both files are
+    committed, so the trajectory accumulates one point per re-record
+    across the repo's history.
+
+``check``
+    Re-run the same workload and compare fresh cycles/sec against the
+    baseline.  Fails loudly (exit 1) when the fresh number falls below
+    ``--min-ratio`` times the baseline -- the default 0.7 flags a >30%
+    regression.  CI runs on shared runners whose absolute speed differs
+    from the machine that recorded the baseline, so its invocation passes
+    a much looser ratio; the tight default is for like-for-like checks on
+    the recording machine.
+
+Usage::
+
+    python tools/bench_gate.py record
+    python tools/bench_gate.py check
+    python tools/bench_gate.py check --min-ratio 0.3   # cross-machine (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_5.json"
+TRAJECTORY = REPO_ROOT / "benchmarks" / "results" / "BENCH_trajectory.jsonl"
+BASELINE_SCHEMA = "frfc-bench-baseline/1"
+
+#: The benchmark workload: the standard observed quick point.
+WORKLOAD = {"config": "FR6", "offered_load": 0.5, "preset": "quick", "seed": 1}
+
+
+def run_benchmark() -> dict[str, Any]:
+    """Run the workload with only the profiler attached; returns its report."""
+    from repro import FR6, run_experiment
+    from repro.obs.session import ObsSession
+
+    session = ObsSession(profile=True, manifest_out="", bench_out="")
+    result = run_experiment(
+        FR6,
+        WORKLOAD["offered_load"],
+        preset=str(WORKLOAD["preset"]),
+        seed=int(WORKLOAD["seed"]),
+        obs=session,
+    )
+    assert session.profiler is not None
+    report = session.profiler.report()
+    report["workload"] = dict(WORKLOAD)
+    report["packets_measured"] = result.packets_measured
+    return report
+
+
+def git_sha() -> str:
+    from repro.obs.manifest import git_sha as manifest_git_sha
+
+    return manifest_git_sha()
+
+
+def record(args: argparse.Namespace) -> int:
+    report = run_benchmark()
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "workload": report["workload"],
+        "packets_measured": report["packets_measured"],
+        "git_sha": git_sha(),
+        "bench": {key: report[key] for key in ("cycles", "wall_seconds",
+                                               "cycles_per_second", "phases")},
+    }
+    args.baseline.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.baseline, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    entry = {
+        "git_sha": baseline["git_sha"],
+        "cycles": report["cycles"],
+        "wall_seconds": report["wall_seconds"],
+        "cycles_per_second": report["cycles_per_second"],
+        "phase_cycles_per_second": {
+            name: phase["cycles_per_second"]
+            for name, phase in sorted(report["phases"].items())
+        },
+    }
+    with open(args.trajectory, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    print(f"bench-gate: recorded {report['cycles_per_second']:,.1f} cycles/sec "
+          f"({report['cycles']} cycles, {report['wall_seconds']:.2f}s)")
+    print(f"  baseline:   {_display(args.baseline)}")
+    print(f"  trajectory: {_display(args.trajectory)} "
+          f"({sum(1 for _ in open(args.trajectory))} points)")
+    return 0
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check(args: argparse.Namespace) -> int:
+    if not args.baseline.exists():
+        print(f"bench-gate: no baseline at {args.baseline}; run `record` first")
+        return 1
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"bench-gate: unexpected baseline schema {baseline.get('schema')!r}")
+        return 1
+    report = run_benchmark()
+    if report["workload"] != baseline["workload"]:
+        print("bench-gate: baseline was recorded for a different workload "
+              f"({baseline['workload']}); re-record it")
+        return 1
+    # The workload is deterministic, so a cycle-count drift means the
+    # simulation itself changed out from under the recorded baseline.
+    if report["cycles"] != baseline["bench"]["cycles"]:
+        print(f"bench-gate: workload simulated {report['cycles']} cycles but the "
+              f"baseline recorded {baseline['bench']['cycles']}; the benchmark "
+              "workload changed -- re-record the baseline")
+        return 1
+    old = baseline["bench"]["cycles_per_second"]
+    new = report["cycles_per_second"]
+    ratio = new / old if old else 0.0
+    print(f"bench-gate: baseline {old:,.1f} cycles/sec -> fresh {new:,.1f} "
+          f"(ratio {ratio:.2f}, gate {args.min_ratio:.2f})")
+    for name in sorted(report["phases"]):
+        fresh_phase = report["phases"][name]["cycles_per_second"]
+        base_phase = baseline["bench"]["phases"].get(name, {}).get(
+            "cycles_per_second", 0.0
+        )
+        phase_ratio = fresh_phase / base_phase if base_phase else float("nan")
+        print(f"  {name:>8}: {base_phase:>12,.1f} -> {fresh_phase:>12,.1f} "
+              f"(ratio {phase_ratio:.2f})")
+    if ratio < args.min_ratio:
+        print(f"bench-gate: FAIL -- simulator is {1 - ratio:.0%} slower than the "
+              "recorded baseline (beyond the allowed regression). If the slowdown "
+              "is intentional, re-record with `python tools/bench_gate.py record`.")
+        return 1
+    print("bench-gate: OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_gate", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--trajectory", type=Path, default=TRAJECTORY)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("record", help="run the workload and (re)write the baseline")
+    gate = sub.add_parser("check", help="run the workload and gate on the baseline")
+    gate.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.7,
+        help="fail when fresh/baseline cycles/sec falls below this "
+        "(default 0.7 = a >30%% regression fails)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        return record(args)
+    return check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
