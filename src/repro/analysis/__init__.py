@@ -16,6 +16,11 @@ per-file lint pass in :mod:`repro.lint` and the runtime
 * :mod:`repro.analysis.permute` -- runtime order-permutation differ: the
   dynamic counterpart, re-running a seeded workload under shuffled router
   evaluation orders and requiring bit-identical results.
+* :mod:`repro.analysis.hotpath` -- static hot-path performance analyzer:
+  inventories the allocation/churn constructs inside each model's
+  per-cycle call tree, backs the D009/D010 lint rules, and gates the
+  committed ``frfc-hotpath/1`` allocation budget (with a ``tracemalloc``
+  runtime cross-check).
 
 Everything here is pure stdlib and imports the simulator's modules only as
 source text (AST) or through their public APIs; analysis never mutates
@@ -41,6 +46,17 @@ from repro.analysis.phases import (
     analyze_module_ast,
     analyze_module_source,
 )
+from repro.analysis.hotpath import (
+    HotFunction,
+    HotPathFinding,
+    ModelHotPathReport,
+    VerifyReport,
+    analyze_hot_model,
+    analyze_hot_networks,
+    build_budget,
+    check_budget,
+    verify_allocations,
+)
 from repro.analysis.permute import (
     PermutationReport,
     RunDigest,
@@ -53,18 +69,27 @@ __all__ = [
     "Channel",
     "GreedyDimensionRouting",
     "Hazard",
+    "HotFunction",
+    "HotPathFinding",
+    "ModelHotPathReport",
     "ModelRaceReport",
     "PermutationReport",
     "PhaseEffects",
     "RoutingLivelock",
     "RunDigest",
+    "VerifyReport",
     "YXMixedRouting",
+    "analyze_hot_model",
+    "analyze_hot_networks",
     "analyze_known_networks",
     "analyze_model",
     "analyze_module_ast",
     "analyze_module_source",
+    "build_budget",
     "build_cdg",
+    "check_budget",
     "prove_deadlock_freedom",
     "run_permutation_diff",
     "tarjan_sccs",
+    "verify_allocations",
 ]

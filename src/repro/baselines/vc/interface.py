@@ -23,6 +23,18 @@ from repro.traffic.packet import Packet
 class VCNodeInterface:
     """Injects packets into one router's local input port."""
 
+    __slots__ = (
+        "router",
+        "config",
+        "rng",
+        "packet_queue",
+        "_pending",
+        "_inject_vc",
+        "_credits",
+        "_shared_credits",
+        "_owned",
+    )
+
     def __init__(self, router: VCRouter, config: VCConfig, rng: DeterministicRng) -> None:
         self.router = router
         self.config = config

@@ -24,7 +24,7 @@ from repro.baselines.vc.router import VCRouter
 from repro.sim.link import Link
 from repro.sim.netbase import NetworkModel
 from repro.stats.collectors import OccupancyTracker
-from repro.topology.mesh import Mesh2D, opposite_port
+from repro.topology.mesh import WEST, Mesh2D, opposite_port
 
 
 class VCNetwork(NetworkModel):
@@ -40,6 +40,7 @@ class VCNetwork(NetworkModel):
         traffic: str = "uniform",
         injection_process: str = "periodic",
         track_occupancy_node: int | None = None,
+        streaming: bool = False,
     ) -> None:
         mesh = mesh or Mesh2D(8, 8)
         super().__init__(
@@ -49,6 +50,7 @@ class VCNetwork(NetworkModel):
             seed=seed,
             traffic=traffic,
             injection_process=injection_process,
+            streaming=streaming,
         )
         self.config = config
         self.routers = [
@@ -117,8 +119,6 @@ class VCNetwork(NetworkModel):
     def _sample_occupancy(self, cycle: int) -> None:
         """Track the west input of the chosen router, as in Section 4.2's
         'specific buffer pool of a router in the middle of the mesh'."""
-        from repro.topology.mesh import WEST
-
         router = self.routers[self._occupancy_node]
         self.occupancy.record(
             min(router.buffered_flits(WEST), self.occupancy.pool_size), cycle

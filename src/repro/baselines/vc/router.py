@@ -30,6 +30,31 @@ NUM_PORTS = 5  # north, east, south, west, local
 class VCRouter:
     """One mesh router under virtual-channel flow control."""
 
+    __slots__ = (
+        "node",
+        "config",
+        "routing",
+        "rng",
+        "eject",
+        "in_queues",
+        "in_route",
+        "in_out_vc",
+        "in_active",
+        "pool_occupancy",
+        "out_data_links",
+        "out_credit_links",
+        "in_credit_links",
+        "in_data_links",
+        "out_credits",
+        "out_shared_credits",
+        "out_vc_owned",
+        "connected_outputs",
+        "ni_credit",
+        "on_flit_arrival",
+        "on_flit_forward",
+        "flits_forwarded",
+    )
+
     def __init__(
         self,
         node: int,
@@ -95,11 +120,13 @@ class VCRouter:
 
     def deliver_credits(self, cycle: int) -> None:
         """Absorb credits returned by downstream routers."""
+        buffers_per_vc = self.config.buffers_per_vc
         for port in self.connected_outputs:
             link = self.in_credit_links[port]
+            credits = self.out_credits[port]
             for vc in link.receive(cycle):
-                outstanding = self.config.buffers_per_vc - self.out_credits[port][vc]
-                self.out_credits[port][vc] += 1
+                outstanding = buffers_per_vc - credits[vc]
+                credits[vc] += 1
                 if outstanding >= 2:
                     # The freed slot was a shared one; the VC's dedicated
                     # slot is released last.
@@ -129,14 +156,16 @@ class VCRouter:
 
     def _gather_candidates(self) -> list[tuple[int, int, int]]:
         pool_mode = self.config.buffer_sharing == "pool"
+        num_vcs = self.config.num_vcs
         candidates: list[tuple[int, int, int]] = []
         for port in range(NUM_PORTS):
             queues = self.in_queues[port]
             active = self.in_active[port]
-            for vc in range(self.config.num_vcs):
+            route = self.in_route[port]
+            for vc in range(num_vcs):
                 if not queues[vc] or not active[vc]:
                     continue
-                out_port = self.in_route[port][vc]
+                out_port = route[vc]
                 if out_port != EJECT:
                     out_vc = self.in_out_vc[port][vc]
                     if pool_mode:
@@ -209,10 +238,12 @@ class VCRouter:
     def route_and_allocate(self, cycle: int) -> None:
         """Route new head flits and allocate output virtual channels."""
         requests: dict[int, list[tuple[int, int]]] = {}
+        num_vcs = self.config.num_vcs
         for port in range(NUM_PORTS):
             queues = self.in_queues[port]
-            for vc in range(self.config.num_vcs):
-                if self.in_active[port][vc] or not queues[vc]:
+            active = self.in_active[port]
+            for vc in range(num_vcs):
+                if active[vc] or not queues[vc]:
                     continue
                 head = queues[vc][0]
                 if not head.is_head:
@@ -225,7 +256,11 @@ class VCRouter:
                     self.in_route[port][vc] = EJECT
                     self.in_active[port][vc] = True
                 else:
-                    requests.setdefault(out_port, []).append((port, vc))
+                    bucket = requests.get(out_port)
+                    if bucket is None:
+                        bucket = []
+                        requests[out_port] = bucket
+                    bucket.append((port, vc))
         for out_port, requesters in requests.items():
             self._allocate_vcs(out_port, requesters)
 

@@ -33,6 +33,8 @@ class BufferPoolError(Exception):
 class BufferPool:
     """A pool of flit buffers with O(1) allocate/release."""
 
+    __slots__ = ("size", "_free", "_contents", "peak_occupancy")
+
     def __init__(self, size: int) -> None:
         if size < 1:
             raise ValueError(f"buffer pool needs at least 1 buffer, got {size}")
@@ -85,6 +87,8 @@ class IntervalBookkeeper:
     *transfer* per re-booking, exactly the situation of Figure 10(a).
     """
 
+    __slots__ = ("size", "_bookings", "transfers", "bookings_made")
+
     def __init__(self, size: int) -> None:
         self.size = size
         self._bookings: list[list[tuple[int, int]]] = [[] for _ in range(size)]
@@ -116,7 +120,10 @@ class IntervalBookkeeper:
 
     def _buffer_free_at(self, cycle: int) -> int:
         for index in range(self.size):
-            if all(not (s <= cycle < e) for s, e in self._bookings[index]):
+            for s, e in self._bookings[index]:
+                if s <= cycle < e:
+                    break
+            else:
                 return index
         raise BufferPoolError(
             f"no buffer free at cycle {cycle}: the reservation tables "

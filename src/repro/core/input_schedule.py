@@ -35,6 +35,19 @@ class InputScheduleError(Exception):
 class InputScheduler:
     """Directs data flit movement through one input port."""
 
+    __slots__ = (
+        "pool",
+        "expected",
+        "departures",
+        "schedule_list",
+        "port_uses",
+        "bookkeeper",
+        "on_buffer_event",
+        "flits_bypassed",
+        "flits_buffered",
+        "early_arrivals",
+    )
+
     def __init__(self, pool_size: int, track_transfers: bool = False) -> None:
         self.pool = BufferPool(pool_size)
         self.expected: dict[int, tuple[int, int]] = {}  # t_a -> (t_d, out_port)

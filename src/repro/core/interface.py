@@ -34,6 +34,20 @@ from repro.traffic.packet import Packet
 class FRNodeInterface:
     """Injects packets into one flit-reservation router."""
 
+    __slots__ = (
+        "router",
+        "config",
+        "rng",
+        "control_queue",
+        "injection_table",
+        "_data_ready",
+        "_ctrl_credits",
+        "_ctrl_vc_owned",
+        "_inject_vc",
+        "packets_pending",
+        "data_flits_pending",
+    )
+
     def __init__(self, router: FRRouter, config: FRConfig, rng: DeterministicRng) -> None:
         self.router = router
         self.config = config

@@ -28,7 +28,7 @@ from repro.core.router import FRRouter
 from repro.sim.link import Link
 from repro.sim.netbase import NetworkModel
 from repro.stats.collectors import ControlLeadTracker, LatencyStats, OccupancyTracker
-from repro.topology.mesh import Mesh2D, opposite_port
+from repro.topology.mesh import WEST, Mesh2D, opposite_port
 
 
 class FRNetwork(NetworkModel):
@@ -45,6 +45,7 @@ class FRNetwork(NetworkModel):
         injection_process: str = "periodic",
         track_occupancy_node: int | None = None,
         track_control_lead: bool = False,
+        streaming: bool = False,
     ) -> None:
         mesh = mesh or Mesh2D(8, 8)
         super().__init__(
@@ -54,6 +55,7 @@ class FRNetwork(NetworkModel):
             seed=seed,
             traffic=traffic,
             injection_process=injection_process,
+            streaming=streaming,
         )
         self.config = config
         self.routers = [
@@ -74,7 +76,7 @@ class FRNetwork(NetworkModel):
         self._wire_links()
         # Per-data-flit network latency (injection to ejection), the quantity
         # behind the paper's "base data latency of 6 cycles" observation.
-        self.data_flit_latency = LatencyStats()
+        self.data_flit_latency = LatencyStats(streaming=streaming)
         self.occupancy: OccupancyTracker | None = None
         self._occupancy_node = track_occupancy_node
         if track_occupancy_node is not None:
@@ -161,8 +163,6 @@ class FRNetwork(NetworkModel):
             self._sample_occupancy(cycle)
 
     def _sample_occupancy(self, cycle: int) -> None:
-        from repro.topology.mesh import WEST
-
         router = self.routers[self._occupancy_node]
         self.occupancy.record(router.buffered_flits(WEST), cycle)
 

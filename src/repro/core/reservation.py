@@ -35,6 +35,19 @@ class ReservationError(Exception):
 class OutputReservationTable:
     """Channel busy bits and downstream free-buffer counts over a horizon."""
 
+    __slots__ = (
+        "horizon",
+        "downstream_buffers",
+        "propagation_delay",
+        "infinite_buffers",
+        "_busy",
+        "_free",
+        "_window_start",
+        "_pending_credits",
+        "reservations_made",
+        "credits_applied",
+    )
+
     def __init__(
         self,
         horizon: int,

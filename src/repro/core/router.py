@@ -43,6 +43,42 @@ NUM_PORTS = 5  # north, east, south, west, local
 class FRRouter:
     """One mesh router under flit-reservation flow control."""
 
+    __slots__ = (
+        "node",
+        "config",
+        "routing",
+        "rng",
+        "eject_data",
+        "consume_control",
+        "ctrl_queues",
+        "route_table",
+        "ctrl_credits",
+        "ctrl_vc_owned",
+        "_ctrl_link_slots",
+        "_last_ctrl_slot",
+        "input_sched",
+        "out_tables",
+        "ctrl_out_links",
+        "ctrl_in_links",
+        "ctrl_credit_out",
+        "ctrl_credit_in",
+        "data_out_links",
+        "data_in_links",
+        "adv_credit_out",
+        "adv_credit_in",
+        "connected_outputs",
+        "ni_advance_credit",
+        "ni_control_credit",
+        "on_data_arrival",
+        "on_control_arrival",
+        "on_reservation_grant",
+        "on_reservation_deny",
+        "on_credit_return",
+        "schedule_stalls",
+        "forward_stalls",
+        "splits_performed",
+    )
+
     def __init__(
         self,
         node: int,
@@ -177,7 +213,10 @@ class FRRouter:
         queue = self.ctrl_queues[port][vc]
         # Uncredited split flits in staging slots do not count against the
         # credited buffer capacity.
-        credited_occupancy = sum(1 for queued in queue if queued.credited)
+        credited_occupancy = 0
+        for queued in queue:
+            if queued.credited:
+                credited_occupancy += 1
         if credited_occupancy >= self.config.control_buffers_per_vc:
             raise RuntimeError(
                 f"control buffer overflow at node {self.node} port {port} vc {vc}: "
@@ -189,7 +228,8 @@ class FRRouter:
             self.on_control_arrival(flit, self.node, now)
 
     def _serve_control_input(self, port: int, now: int) -> None:
-        vcs = [vc for vc in range(self.config.control_vcs) if self.ctrl_queues[port][vc]]
+        queues = self.ctrl_queues[port]
+        vcs = [vc for vc in range(self.config.control_vcs) if queues[vc]]
         if not vcs:
             return
         if len(vcs) > 1:

@@ -72,12 +72,15 @@ def build_network(
     mesh: Mesh2D | None = None,
     traffic: str | TrafficPattern = "uniform",
     injection_process: str = "periodic",
+    streaming: bool = False,
     **network_kwargs: Any,
 ) -> NetworkModel:
     """Construct the right network model for a flow-control configuration.
 
     ``offered_load`` is a fraction of the mesh's uniform-traffic capacity;
-    it is converted to a per-node packet injection rate here.
+    it is converted to a per-node packet injection rate here.  With
+    ``streaming`` the network's latency collectors use bounded-memory
+    streaming percentile sketches instead of storing every sample.
     """
     if offered_load <= 0:
         raise ValueError(f"offered load must be positive, got {offered_load}")
@@ -95,6 +98,7 @@ def build_network(
         seed=seed,
         traffic=traffic,
         injection_process=injection_process,
+        streaming=streaming,
         **network_kwargs,
     )
     if isinstance(config, FRConfig):
@@ -115,6 +119,7 @@ def run_experiment(
     mesh: Mesh2D | None = None,
     traffic: str | TrafficPattern = "uniform",
     injection_process: str = "periodic",
+    streaming: bool = False,
     check_invariants: bool = False,
     obs: Optional["ObsSession"] = None,
     **network_kwargs: Any,
@@ -138,6 +143,7 @@ def run_experiment(
         mesh=mesh,
         traffic=traffic,
         injection_process=injection_process,
+        streaming=streaming,
         **network_kwargs,
     )
     checker = InvariantChecker() if check_invariants else None

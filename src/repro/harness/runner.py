@@ -139,6 +139,12 @@ def main(argv: list[str] | None = None) -> int:
     point.add_argument("config")
     point.add_argument("load", type=float)
     point.add_argument("--packet-length", type=int, default=5)
+    point.add_argument(
+        "--streaming",
+        action="store_true",
+        help="collect latency with bounded-memory streaming percentile "
+        "sketches instead of storing every sample",
+    )
     _add_run_flags(point)
 
     obs = sub.add_parser(
@@ -241,6 +247,7 @@ def main(argv: list[str] | None = None) -> int:
             packet_length=args.packet_length,
             seed=args.seed,
             preset=args.preset,
+            streaming=args.streaming,
             check_invariants=args.check_invariants,
             obs=session,
         )

@@ -1,4 +1,4 @@
-"""The frfc-lint rules (D001-D008).
+"""The frfc-lint rules (D001-D010).
 
 These are *simulator-specific* checks: each one fences off a class of bug
 that has silently corrupted cycle-accurate models in practice.
@@ -35,6 +35,17 @@ D008   No direct ``print`` in simulator code.  Only the CLI front-ends may
        write to stdout; everything else reports through return values,
        exceptions, or the observability layer (:mod:`repro.obs`), so
        library callers and the event exporters own the output stream.
+D009   No avoidable allocation on the per-cycle hot path: the per-file
+       slice of the :mod:`repro.analysis.hotpath` analyzer.  Flags
+       list/dict/set displays, comprehensions, generator expressions,
+       object construction, closures, and string concatenation inside
+       functions reachable from a local model's ``step()``; the
+       whole-model pass runs as ``frfc_analyze hotpath`` and its counts
+       are CI-gated by ``benchmarks/results/HOTPATH_baseline.json``.
+D010   Classes reachable from a local model's per-cycle hot path must
+       declare ``__slots__``.  A slotless instance drags a ``__dict__``
+       through every cycle: more memory traffic and slower attribute
+       lookups exactly where the simulator spends its time.
 =====  ======================================================================
 
 Any rule can be silenced on a single line with ``# frfc-lint: disable=Dxxx``
@@ -393,6 +404,54 @@ class NoPhaseRaces(Rule):
             )
 
 
+class NoHotPathAllocation(Rule):
+    """D009: no avoidable allocation inside a per-cycle hot path."""
+
+    rule_id = "D009"
+    summary = "allocation on the per-cycle hot path"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        # Lazy for the same reason as D007: repro.analysis is heavyweight.
+        from repro.analysis.hotpath import (
+            ALLOCATION_CATEGORIES,
+            analyze_module_hotpath_ast,
+        )
+
+        for hit in analyze_module_hotpath_ast(tree, path):
+            if hit.category not in ALLOCATION_CATEGORIES:
+                continue
+            loop = " [in loop]" if hit.in_loop else ""
+            yield Finding(
+                path=path,
+                line=hit.line,
+                column=0,
+                rule_id=self.rule_id,
+                message=f"{hit.category} in hot function {hit.qualname}: "
+                f"{hit.detail}{loop}",
+            )
+
+
+class HotPathClassesHaveSlots(Rule):
+    """D010: classes on the per-cycle hot path must declare __slots__."""
+
+    rule_id = "D010"
+    summary = "hot-path class without __slots__"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        from repro.analysis.hotpath import analyze_module_hotpath_ast
+
+        for hit in analyze_module_hotpath_ast(tree, path):
+            if hit.category != "slotless_class":
+                continue
+            yield Finding(
+                path=path,
+                line=hit.line,
+                column=0,
+                rule_id=self.rule_id,
+                message=hit.detail,
+            )
+
+
 class NoPrintInSimulator(Rule):
     """D008: only the CLI front-ends may write to stdout."""
 
@@ -430,4 +489,6 @@ ALL_RULES: tuple[Rule, ...] = (
     NoForeignPrivateState(),
     NoPhaseRaces(),
     NoPrintInSimulator(),
+    NoHotPathAllocation(),
+    HotPathClassesHaveSlots(),
 )

@@ -39,6 +39,7 @@ class NetworkModel:
         seed: int = 1,
         traffic: str | TrafficPattern = "uniform",
         injection_process: str = "periodic",
+        streaming: bool = False,
     ) -> None:
         if injection_rate <= 0.0:
             raise ValueError(f"injection rate must be positive, got {injection_rate}")
@@ -71,7 +72,7 @@ class NetworkModel:
         # (repro.analysis.permute) shuffles this list to verify it at
         # runtime; it must remain a permutation of the mesh nodes.
         self.eval_order = list(self.mesh.nodes())
-        self.latency_stats = LatencyStats()
+        self.latency_stats = LatencyStats(streaming=streaming)
         self.throughput = ThroughputCounter(mesh.num_nodes)
         self.packets_in_flight: dict[int, Packet] = {}
         self.measured_outstanding = 0

@@ -23,6 +23,8 @@ class DeterministicRng:
     to a specific stochastic decision in the modelled hardware or workload.
     """
 
+    __slots__ = ("_seed", "_random")
+
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._random = random.Random(seed)

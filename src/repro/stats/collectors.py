@@ -253,6 +253,8 @@ class OccupancyTracker:
     the attaching code, once by the network's own end-of-cycle sample).
     """
 
+    __slots__ = ("pool_size", "cycles", "full_cycles", "occupied_sum", "_last_cycle")
+
     def __init__(self, pool_size: int) -> None:
         if pool_size < 1:
             raise ValueError(f"pool size must be >= 1, got {pool_size}")

@@ -37,6 +37,8 @@ class Mesh2D:
     as a fraction of bisection bandwidth (the paper's x-axis).
     """
 
+    __slots__ = ("width", "height", "num_nodes")
+
     def __init__(self, width: int = 8, height: int = 8) -> None:
         if width < 2 or height < 2:
             raise ValueError(

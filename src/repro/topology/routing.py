@@ -28,6 +28,8 @@ class DimensionOrderRouting:
     simulation hot loop into a list index.
     """
 
+    __slots__ = ("mesh", "_table")
+
     def __init__(self, mesh: Mesh2D) -> None:
         self.mesh = mesh
         n = mesh.num_nodes

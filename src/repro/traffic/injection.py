@@ -14,6 +14,8 @@ from repro.sim.rng import DeterministicRng
 class InjectionProcess:
     """Decides, cycle by cycle, whether a source creates a packet."""
 
+    __slots__ = ()
+
     def should_inject(self, cycle: int, rng: DeterministicRng) -> bool:
         raise NotImplementedError("injection processes must implement should_inject")
 
@@ -30,6 +32,8 @@ class PeriodicInjection(InjectionProcess):
     accumulator starts at a random phase in [0, 1) so different nodes are
     decorrelated.
     """
+
+    __slots__ = ("_rate", "_accumulator")
 
     def __init__(self, rate: float, phase: float = 0.0) -> None:
         if not 0.0 < rate <= 1.0:
@@ -53,6 +57,8 @@ class PeriodicInjection(InjectionProcess):
 
 class BernoulliInjection(InjectionProcess):
     """Memoryless source: inject with probability ``rate`` each cycle."""
+
+    __slots__ = ("_rate",)
 
     def __init__(self, rate: float) -> None:
         if not 0.0 < rate <= 1.0:

@@ -21,6 +21,8 @@ from repro.topology.mesh import Mesh2D
 class TrafficPattern:
     """Base class: maps a source node to a destination per packet."""
 
+    __slots__ = ("mesh",)
+
     def __init__(self, mesh: Mesh2D) -> None:
         self.mesh = mesh
 
@@ -40,6 +42,8 @@ class TrafficPattern:
 class UniformRandomTraffic(TrafficPattern):
     """Every packet goes to a uniformly random destination != source."""
 
+    __slots__ = ()
+
     def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
         destination = rng.randint(0, self.mesh.num_nodes - 2)
         if destination >= source:
@@ -49,6 +53,8 @@ class UniformRandomTraffic(TrafficPattern):
 
 class TransposeTraffic(TrafficPattern):
     """Node (x, y) sends to node (y, x); requires a square mesh."""
+
+    __slots__ = ()
 
     def __init__(self, mesh: Mesh2D) -> None:
         if mesh.width != mesh.height:
@@ -64,6 +70,8 @@ class TransposeTraffic(TrafficPattern):
 class BitComplementTraffic(TrafficPattern):
     """Node (x, y) sends to (width-1-x, height-1-y)."""
 
+    __slots__ = ()
+
     def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
         x, y = self.mesh.coordinates(source)
         destination = self.mesh.node_at(self.mesh.width - 1 - x, self.mesh.height - 1 - y)
@@ -73,6 +81,8 @@ class BitComplementTraffic(TrafficPattern):
 class BitReverseTraffic(TrafficPattern):
     """Destination is the bit-reversal of the source id (power-of-two meshes)."""
 
+    __slots__ = ("_bits",)
+
     def __init__(self, mesh: Mesh2D) -> None:
         bits = (mesh.num_nodes - 1).bit_length()
         if 1 << bits != mesh.num_nodes:
@@ -81,12 +91,18 @@ class BitReverseTraffic(TrafficPattern):
         self._bits = bits
 
     def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
-        reversed_id = int(format(source, f"0{self._bits}b")[::-1], 2)
+        reversed_id = 0
+        remaining = source
+        for _ in range(self._bits):
+            reversed_id = (reversed_id << 1) | (remaining & 1)
+            remaining >>= 1
         return None if reversed_id == source else reversed_id
 
 
 class ShuffleTraffic(TrafficPattern):
     """Perfect shuffle: rotate the source id left by one bit."""
+
+    __slots__ = ("_bits",)
 
     def __init__(self, mesh: Mesh2D) -> None:
         bits = (mesh.num_nodes - 1).bit_length()
@@ -103,6 +119,8 @@ class ShuffleTraffic(TrafficPattern):
 
 class HotspotTraffic(TrafficPattern):
     """Uniform traffic with extra probability mass on a few hotspot nodes."""
+
+    __slots__ = ("hotspots", "hotspot_fraction", "_uniform")
 
     def __init__(self, mesh: Mesh2D, hotspots: list[int], hotspot_fraction: float = 0.2) -> None:
         if not hotspots:
@@ -124,6 +142,8 @@ class HotspotTraffic(TrafficPattern):
 
 class NeighborTraffic(TrafficPattern):
     """Each node sends one hop east (wrapping to the row start at the edge)."""
+
+    __slots__ = ()
 
     def destination(self, source: int, rng: DeterministicRng) -> Optional[int]:
         x, y = self.mesh.coordinates(source)

@@ -25,6 +25,18 @@ class PacketSource:
     paper's 100 000-packet sample methodology.
     """
 
+    __slots__ = (
+        "node",
+        "pattern",
+        "process",
+        "packet_length",
+        "rng",
+        "_next_packet_id",
+        "measure_window",
+        "packets_created",
+        "enabled",
+    )
+
     def __init__(
         self,
         node: int,

@@ -1,0 +1,301 @@
+"""Tests for the static hot-path analyzer (repro.analysis.hotpath)."""
+
+import importlib
+import json
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.hotpath import (
+    ALL_CATEGORIES,
+    ALLOCATION_CATEGORIES,
+    BUDGET_SCHEMA,
+    BUDGETED_CATEGORIES,
+    analyze_hot_model,
+    analyze_hot_networks,
+    analyze_module_hotpath_source,
+    build_budget,
+    check_budget,
+    verify_allocations,
+)
+
+
+#: A single-file model with three known hot-path sins: a comprehension
+#: inside a loop, a slotless actor class, and a repeated attribute chain.
+DIRTY_SOURCE = textwrap.dedent(
+    '''
+    class Counts:
+        __slots__ = ("total",)
+
+        def __init__(self):
+            self.total = 0
+
+
+    class Stats:
+        __slots__ = ("counts",)
+
+        def __init__(self):
+            self.counts = Counts()
+
+
+    class DirtyRouter:
+        def __init__(self, node):
+            self.node = node
+            self.queue = []
+            self.stats = Stats()
+
+        def phase(self, cycle):
+            for _ in range(4):
+                picks = [q for q in self.queue if q > cycle]
+                self.queue.extend(picks)
+                if self.stats.counts.total > 0:
+                    self.stats.counts.total = self.stats.counts.total - 1
+
+
+    class DirtyNetwork:
+        def __init__(self, n):
+            self.routers = [DirtyRouter(k) for k in range(n)]
+
+        def step(self, cycle):
+            for router in self.routers:
+                router.phase(cycle)
+    '''
+)
+
+
+#: The same shape with every sin fixed; the analyzer must stay silent.
+CLEAN_SOURCE = textwrap.dedent(
+    '''
+    class CleanRouter:
+        __slots__ = ("node", "count")
+
+        def __init__(self, node: int):
+            self.node = node
+            self.count = 0
+
+        def phase(self, cycle: int) -> None:
+            self.count += 1
+
+
+    class CleanNetwork:
+        def __init__(self, n: int):
+            self.routers = [CleanRouter(k) for k in range(n)]
+
+        def step(self, cycle: int) -> None:
+            for router in self.routers:
+                router.phase(cycle)
+    '''
+)
+
+
+def categories(findings):
+    return {finding.category for finding in findings}
+
+
+class TestFixtureModules:
+    @pytest.fixture(scope="class")
+    def dirty(self):
+        return analyze_module_hotpath_source(DIRTY_SOURCE, "dirty.py")
+
+    def test_finds_comprehension_in_loop(self, dirty):
+        hits = [f for f in dirty if f.category == "comprehension"]
+        assert hits, f"no comprehension finding in {dirty}"
+        assert any(f.in_loop for f in hits)
+        assert all(f.qualname == "DirtyRouter.phase" for f in hits)
+
+    def test_finds_slotless_actor_class(self, dirty):
+        hits = [f for f in dirty if f.category == "slotless_class"]
+        assert hits, "slotless DirtyRouter not flagged"
+        assert all("DirtyRouter" in f.detail for f in hits)
+
+    def test_finds_repeated_attribute_chain(self, dirty):
+        hits = [f for f in dirty if f.category == "attr_chain_loop"]
+        assert hits, "repeated self.stats.counts chain not flagged"
+        assert any("self.stats.counts" in f.detail for f in hits)
+
+    def test_slotted_helper_classes_not_flagged(self, dirty):
+        slotless = [f for f in dirty if f.category == "slotless_class"]
+        assert not any("Stats" in f.detail or "Counts" in f.detail for f in slotless)
+
+    def test_clean_fixture_passes(self):
+        assert analyze_module_hotpath_source(CLEAN_SOURCE, "clean.py") == []
+
+    def test_syntax_error_returns_no_findings(self):
+        assert analyze_module_hotpath_source("def broken(:", "bad.py") == []
+
+
+class TestShippedModels:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return analyze_hot_networks()
+
+    def test_three_models_analyzed(self, reports):
+        assert [r.label for r in reports] == ["FR", "VC", "WH"]
+        for report in reports:
+            assert report.hot_functions, f"{report.label}: empty hot set"
+            assert report.hot_classes, f"{report.label}: no hot classes"
+
+    def test_hot_sets_cover_the_kernel(self, reports):
+        fr = reports[0]
+        names = {f.qualname for f in fr.hot_functions}
+        assert "FRNetwork.step" in names
+        assert any(name.startswith("FRRouter.") for name in names)
+
+    def test_shipped_code_has_no_slotless_hot_classes(self, reports):
+        for report in reports:
+            assert report.counts()["slotless_class"] == 0, (
+                f"{report.label}: hot-path classes without __slots__: "
+                + "; ".join(
+                    f.detail
+                    for f in report.findings
+                    if f.category == "slotless_class"
+                )
+            )
+
+    def test_shipped_code_has_no_hot_imports_or_str_concat(self, reports):
+        for report in reports:
+            counts = report.counts()
+            assert counts["hot_import"] == 0
+            assert counts["str_concat"] == 0
+
+    def test_counts_cover_every_category(self, reports):
+        for report in reports:
+            assert set(report.counts()) == set(ALL_CATEGORIES)
+
+    def test_format_mentions_the_model(self, reports):
+        text = reports[0].format()
+        assert "FR" in text and "FRNetwork" in text
+
+    def test_single_model_entry_point(self):
+        report = analyze_hot_model("repro.core.network", "FRNetwork")
+        assert report.class_name == "FRNetwork"
+        assert report.hot_functions
+
+
+class TestBudget:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return analyze_hot_networks()
+
+    def test_roundtrip_is_green(self, reports):
+        budget = build_budget(reports)
+        assert budget["schema"] == BUDGET_SCHEMA
+        violations, _notes = check_budget(reports, budget)
+        assert violations == []
+
+    def test_budget_document_shape(self, reports):
+        budget = build_budget(reports)
+        assert set(budget["models"]) == {"FR", "VC", "WH"}
+        for entry in budget["models"].values():
+            assert set(entry["categories"]) == set(ALL_CATEGORIES)
+
+    def test_budget_is_json_serializable(self, reports):
+        parsed = json.loads(json.dumps(build_budget(reports)))
+        assert parsed["schema"] == BUDGET_SCHEMA
+
+    def test_exceeding_budget_is_a_violation(self, reports):
+        budget = build_budget(reports)
+        budget["models"]["FR"]["categories"] = dict(
+            budget["models"]["FR"]["categories"]
+        )
+        for category in sorted(BUDGETED_CATEGORIES):
+            if budget["models"]["FR"]["categories"][category] > 0:
+                budget["models"]["FR"]["categories"][category] -= 1
+                break
+        else:
+            pytest.skip("no non-zero budgeted category to tighten")
+        violations, _notes = check_budget(reports, budget)
+        assert violations and any(category in v for v in violations)
+
+    def test_missing_model_is_a_violation(self, reports):
+        budget = build_budget(reports)
+        del budget["models"]["VC"]
+        violations, _notes = check_budget(reports, budget)
+        assert any("VC" in v for v in violations)
+
+    def test_improvement_is_a_note_not_a_violation(self, reports):
+        budget = build_budget(reports)
+        budget["models"]["FR"]["categories"] = dict(
+            budget["models"]["FR"]["categories"]
+        )
+        budget["models"]["FR"]["categories"]["list_display"] += 5
+        violations, notes = check_budget(reports, budget)
+        assert violations == []
+        assert any("list_display" in note for note in notes)
+
+
+FIXTURE_V1 = DIRTY_SOURCE
+
+#: V1 plus one brand-new allocation site on the hot path.
+FIXTURE_V2 = DIRTY_SOURCE.replace(
+    "self.queue.extend(picks)",
+    "self.queue.extend(picks)\n"
+    "            extra = {cycle: picks}\n"
+    "            self.queue.extend(extra[cycle])",
+)
+
+
+class TestBudgetGateOnFixture:
+    """The CI-gate semantics: a new allocation site must trip the budget."""
+
+    def _analyze(self, tmp_path, source, name):
+        module_dir = tmp_path / name
+        module_dir.mkdir()
+        (module_dir / f"{name}.py").write_text(source, encoding="utf-8")
+        sys.path.insert(0, str(module_dir))
+        importlib.invalidate_caches()
+        try:
+            return analyze_hot_model(name, "DirtyNetwork", label="fixture")
+        finally:
+            sys.path.remove(str(module_dir))
+            sys.modules.pop(name, None)
+
+    def test_new_allocation_site_fails_the_gate(self, tmp_path):
+        assert FIXTURE_V2 != FIXTURE_V1
+        before = self._analyze(tmp_path, FIXTURE_V1, "fixmod_v1")
+        after = self._analyze(tmp_path, FIXTURE_V2, "fixmod_v2")
+        after.label = before.label
+        budget = build_budget([before])
+        violations, _notes = check_budget([after], budget)
+        assert violations, "new dict_display on the hot path did not trip the gate"
+        assert any("dict_display" in v for v in violations)
+
+    def test_unchanged_fixture_stays_green(self, tmp_path):
+        before = self._analyze(tmp_path, FIXTURE_V1, "fixmod_a")
+        again = self._analyze(tmp_path, FIXTURE_V1, "fixmod_b")
+        again.label = before.label
+        violations, _notes = check_budget([again], build_budget([before]))
+        assert violations == []
+
+
+class TestTracemallocCrossCheck:
+    def test_fr_quick_point_is_covered(self):
+        report = analyze_hot_model(
+            "repro.core.network", "FRNetwork", label="FR"
+        )
+        verdict = verify_allocations(report, warmup=32, cycles=64)
+        assert verdict.total_count > 0
+        assert verdict.passed, verdict.format()
+        assert verdict.coverage >= verdict.threshold
+        assert "OK" in verdict.format()
+
+    def test_unknown_label_is_rejected(self):
+        from repro.analysis.phases import AnalysisError
+
+        report = analyze_hot_model(
+            "repro.core.network", "FRNetwork", label="mystery"
+        )
+        with pytest.raises(AnalysisError):
+            verify_allocations(report)
+
+
+class TestCategoryTaxonomy:
+    def test_budgeted_categories_are_a_subset(self):
+        assert set(BUDGETED_CATEGORIES) <= set(ALL_CATEGORIES)
+
+    def test_allocation_categories_are_budgeted_except_tuples(self):
+        assert "tuple_display" not in BUDGETED_CATEGORIES
+        for category in ALLOCATION_CATEGORIES:
+            if category != "tuple_display":
+                assert category in BUDGETED_CATEGORIES

@@ -23,44 +23,44 @@ def run(config, mesh, cycles=1_200, rate=0.02, seed=4):
     return network
 
 
+def spy_injections(monkeypatch):
+    """Record creation-to-injection ages of every data flit entering the mesh.
+
+    ``FRRouter`` carries ``__slots__``, so the spy wraps ``inject_data`` at
+    the class rather than replacing it per instance.
+    """
+    from repro.core.router import FRRouter
+
+    observed = []
+    original = FRRouter.inject_data
+
+    def spy(self, flit, now):
+        observed.append(now - flit.packet.creation_cycle)
+        original(self, flit, now)
+
+    monkeypatch.setattr(FRRouter, "inject_data", spy)
+    return observed
+
+
 class TestInjectionLead:
     @pytest.mark.parametrize("lead", [1, 4, 10])
-    def test_data_deferred_at_least_lead_cycles(self, mesh4, lead):
+    def test_data_deferred_at_least_lead_cycles(self, mesh4, lead, monkeypatch):
         """Every data flit enters the network at least `lead` cycles after
         its packet was created (the control flit went first)."""
         config = FRConfig(data_buffers_per_input=6).with_leading_control(lead)
         network = FRNetwork(config, mesh=mesh4, injection_rate=0.02, seed=4)
-        observed = []
-        original_inject = {}
-        for node, interface in enumerate(network.interfaces):
-            router = interface.router
-            original = router.inject_data
-
-            def spy(flit, now, original=original):
-                observed.append(now - flit.packet.creation_cycle)
-                original(flit, now)
-
-            router.inject_data = spy
+        observed = spy_injections(monkeypatch)
         simulator = Simulator(network)
         simulator.step(800)
         assert observed, "no data flits injected"
         assert min(observed) >= lead
 
-    def test_zero_lead_fast_control_still_defers_one_cycle(self, mesh4):
+    def test_zero_lead_fast_control_still_defers_one_cycle(self, mesh4, monkeypatch):
         """Even with lead 0 the injection slot is at least one cycle out
         (scheduling takes the cycle)."""
         config = FRConfig(data_buffers_per_input=6)  # fast control, lead 0
         network = FRNetwork(config, mesh=mesh4, injection_rate=0.02, seed=4)
-        observed = []
-        for interface in network.interfaces:
-            router = interface.router
-            original = router.inject_data
-
-            def spy(flit, now, original=original):
-                observed.append(now - flit.packet.creation_cycle)
-                original(flit, now)
-
-            router.inject_data = spy
+        observed = spy_injections(monkeypatch)
         Simulator(network).step(800)
         assert observed and min(observed) >= 1
 

@@ -409,6 +409,8 @@ class TestD006ForeignPrivateState:
 class TestD007PhaseRaces:
     RACY = """
     class RacyRouter:
+        __slots__ = ("node", "board")
+
         def __init__(self, node, board):
             self.node = node
             self.board = board
@@ -439,6 +441,8 @@ class TestD007PhaseRaces:
         findings = lint(
             """
             class Router:
+                __slots__ = ("node", "queue")
+
                 def __init__(self, node):
                     self.node = node
                     self.queue = []
@@ -463,6 +467,127 @@ class TestD007PhaseRaces:
         findings = lint(
             """
             from elsewhere import Router
+
+            class Network:
+                def __init__(self, n):
+                    self.routers = [Router(k) for k in range(n)]
+
+                def step(self, cycle):
+                    for router in self.routers:
+                        router.phase(cycle)
+            """
+        )
+        assert findings == []
+
+
+class TestD009HotPathAllocation:
+    DIRTY = """
+    class Router:
+        __slots__ = ("node", "queue")
+
+        def __init__(self, node):
+            self.node = node
+            self.queue = []
+
+        def phase(self, cycle):
+            for _ in range(4):
+                picks = [q for q in self.queue if q > cycle]
+                self.queue.extend(picks)
+
+    class Network:
+        def __init__(self, n):
+            self.routers = [Router(k) for k in range(n)]
+
+        def step(self, cycle):
+            for router in self.routers:
+                router.phase(cycle)
+    """
+
+    def test_comprehension_in_hot_loop_flagged(self):
+        findings = lint(self.DIRTY)
+        assert rule_ids(findings) == ["D009"]
+        assert "comprehension" in findings[0].message
+        assert "Router.phase" in findings[0].message
+        assert "[in loop]" in findings[0].message
+
+    def test_suppressible(self):
+        source = self.DIRTY.replace(
+            "picks = [q for q in self.queue if q > cycle]",
+            "picks = [q for q in self.queue if q > cycle]"
+            "  # frfc-lint: disable=D009",
+        )
+        assert lint(source) == []
+
+    def test_allocation_off_the_hot_path_not_flagged(self):
+        findings = lint(
+            """
+            class Router:
+                __slots__ = ("node", "queue")
+
+                def __init__(self, node):
+                    self.node = node
+                    self.queue = [0 for _ in range(8)]
+
+                def phase(self, cycle):
+                    self.queue[0] = cycle
+
+            class Network:
+                def __init__(self, n):
+                    self.routers = [Router(k) for k in range(n)]
+
+                def step(self, cycle):
+                    for router in self.routers:
+                        router.phase(cycle)
+            """
+        )
+        assert findings == []
+
+
+class TestD010HotPathSlots:
+    SLOTLESS = """
+    class Router:
+        def __init__(self, node):
+            self.node = node
+
+        def phase(self, cycle):
+            self.node = cycle
+
+    class Network:
+        def __init__(self, n):
+            self.routers = [Router(k) for k in range(n)]
+
+        def step(self, cycle):
+            for router in self.routers:
+                router.phase(cycle)
+    """
+
+    def test_slotless_hot_class_flagged(self):
+        findings = lint(self.SLOTLESS)
+        assert rule_ids(findings) == ["D010"]
+        assert "Router" in findings[0].message
+        assert "__slots__" in findings[0].message
+
+    def test_finding_points_at_the_class(self):
+        findings = lint(self.SLOTLESS)
+        assert findings[0].line == 2  # the `class Router:` line
+
+    def test_suppressible(self):
+        source = self.SLOTLESS.replace(
+            "class Router:", "class Router:  # frfc-lint: disable=D010"
+        )
+        assert lint(source) == []
+
+    def test_slotted_model_clean(self):
+        findings = lint(
+            """
+            class Router:
+                __slots__ = ("node",)
+
+                def __init__(self, node):
+                    self.node = node
+
+                def phase(self, cycle):
+                    self.node = cycle
 
             class Network:
                 def __init__(self, n):
@@ -576,6 +701,8 @@ class TestEngine:
             "D006",
             "D007",
             "D008",
+            "D009",
+            "D010",
         ]
         assert all(rule.summary for rule in ALL_RULES)
 
@@ -679,5 +806,16 @@ class TestCommandLine:
         cli = load_cli()
         assert cli.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008"):
+        for rule_id in (
+            "D001",
+            "D002",
+            "D003",
+            "D004",
+            "D005",
+            "D006",
+            "D007",
+            "D008",
+            "D009",
+            "D010",
+        ):
             assert rule_id in out
