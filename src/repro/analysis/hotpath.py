@@ -252,6 +252,9 @@ class _ClassModel:
     key: ClassKey
     attr_types: dict[str, frozenset[ClassKey]]
     callable_attrs: frozenset[str]
+    #: Dispatch-slot aliases: ``self.X = self._Y`` (possibly conditional)
+    #: where ``_Y`` is a method -- calls through ``X`` reach every ``_Y``.
+    method_aliases: dict[str, frozenset[str]]
 
 
 class HotPathAnalyzer:
@@ -261,7 +264,10 @@ class HotPathAnalyzer:
     annotations and ``__init__`` assignments, containers are approximated
     by their element types (indexing/iterating a ``list[FRRouter]`` yields
     an ``FRRouter``), and dynamic dispatch is closed over by re-walking
-    statically known subclasses that override a hot method.  Calls the
+    statically known subclasses that override a hot method.  Dispatch-slot
+    attributes (``self.X = self._Y_plain``/``self._Y_observed`` rebound at
+    hook attach/detach) are followed to *every* method they can be bound
+    to.  Calls the
     analyzer cannot resolve are reported (``hook_escape``/``opaque_call``)
     rather than silently dropped, and the ``--verify`` tracemalloc mode
     checks the closure against observed allocations.
@@ -377,6 +383,7 @@ class HotPathAnalyzer:
             return None
         attr_types: dict[str, set[ClassKey]] = {}
         callable_attrs: set[str] = set()
+        method_aliases: dict[str, set[str]] = {}
         for member in info.mro():
             self._register(member)
             for stmt in member.node.body:
@@ -416,6 +423,12 @@ class HotPathAnalyzer:
                             ):
                                 callable_attrs.add(attr)
                                 continue
+                            targets = self._method_refs_in(node.value, info)
+                            if targets:
+                                method_aliases.setdefault(attr, set()).update(
+                                    targets
+                                )
+                                continue
                             attr_types.setdefault(attr, set()).update(
                                 self._classes_in_expr(
                                     node.value, member.module, param_ann
@@ -425,6 +438,9 @@ class HotPathAnalyzer:
             key=key,
             attr_types={k: frozenset(v) for k, v in attr_types.items()},
             callable_attrs=frozenset(callable_attrs),
+            method_aliases={
+                k: frozenset(v) for k, v in method_aliases.items()
+            },
         )
         self._class_models[key] = model
         return model
@@ -438,6 +454,31 @@ class HotPathAnalyzer:
         ):
             return target.attr
         return None
+
+    def _method_refs_in(self, value: ast.expr, info: ClassInfo) -> frozenset[str]:
+        """Dispatch targets of an assigned value that is a method reference.
+
+        Captures dispatch-slot rebinding like
+        ``self.accept = self._accept_observed if hook else self._accept_plain``.
+        The value must *be* a method reference -- a bare ``self.Y`` or a
+        conditional expression over them -- not merely contain one (a method
+        passed as a constructor argument is a callback, not a rebinding).
+        """
+        if isinstance(value, ast.Attribute):
+            attr = self._self_attr(value)
+            if attr is not None and self._find_method(info, attr) is not None:
+                return frozenset({attr})
+            return frozenset()
+        if isinstance(value, ast.IfExp):
+            return self._method_refs_in(value.body, info) | self._method_refs_in(
+                value.orelse, info
+            )
+        if isinstance(value, ast.BoolOp):
+            refs: frozenset[str] = frozenset()
+            for operand in value.values:
+                refs |= self._method_refs_in(operand, info)
+            return refs
+        return frozenset()
 
     def _classes_in_annotation(
         self, annotation: ast.expr | None, module: str
@@ -728,6 +769,13 @@ class HotPathAnalyzer:
             if self._find_method(info, name) is not None:
                 self._enqueue_method(key, name)
                 dispatched = True
+                continue
+            if receiver_model is not None:
+                # Dispatch-slot alias: the attribute is rebound to one of a
+                # known set of methods; walk every possible target.
+                for target in sorted(receiver_model.method_aliases.get(name, ())):
+                    self._enqueue_method(key, target)
+                    dispatched = True
         if not receiver_types and name not in _STDLIB_METHODS:
             self._finding(
                 "opaque_call",
@@ -1133,14 +1181,19 @@ def build_budget(reports: Iterable[ModelHotPathReport]) -> dict[str, Any]:
 
 
 def check_budget(
-    reports: Sequence[ModelHotPathReport], budget: dict[str, Any]
+    reports: Sequence[ModelHotPathReport],
+    budget: dict[str, Any],
+    fail_on_slack: bool = False,
 ) -> tuple[list[str], list[str]]:
     """Compare fresh reports against a recorded budget.
 
     Returns ``(violations, notes)``: a violation is a budgeted category
     whose fresh count *exceeds* the recorded budget (or a model the budget
     does not know); a note is informational (a category that improved and
-    could be re-recorded tighter, or a stale model in the budget).
+    could be re-recorded tighter, or a stale model in the budget).  With
+    ``fail_on_slack``, slack is a violation too: the committed budget must
+    match what the analyzer measures exactly, so every improvement gets
+    locked in by re-recording instead of silently eroding the gate.
     """
     violations: list[str] = []
     notes: list[str] = []
@@ -1172,10 +1225,17 @@ def check_budget(
                     "re-record the budget with intent"
                 )
             elif fresh < allowed:
-                notes.append(
-                    f"{report.label}: {category} improved ({fresh} < budget "
-                    f"{allowed}); consider re-recording to lock in the win"
-                )
+                if fail_on_slack:
+                    violations.append(
+                        f"{report.label}: {category} improved ({fresh} < "
+                        f"budget {allowed}) but the committed budget was not "
+                        "tightened; re-record it to lock in the win"
+                    )
+                else:
+                    notes.append(
+                        f"{report.label}: {category} improved ({fresh} < budget "
+                        f"{allowed}); consider re-recording to lock in the win"
+                    )
     for label in models:
         if label not in fresh_labels:
             notes.append(f"budget lists model {label} which was not analyzed")

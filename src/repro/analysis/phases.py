@@ -65,6 +65,22 @@ stage.  Statements ``step`` runs directly (packet creation, occupancy
 sampling) execute on the single network actor with no intra-phase
 concurrency, so they are sequenced by definition and reported in the
 phase order without race analysis.
+
+Two refinements keep the proof exact for the active-set kernel:
+
+* **Per-actor slots in shared arrays.**  A subscript store whose index is
+  the phase loop's own index variable (``self._flags[node] = 0`` inside
+  ``for node in self.eval_order``) writes a slot no other iteration of the
+  loop touches: iteration ``i`` writes only slot ``i``, so the slots are
+  disjoint across actors and the store is recorded as a per-actor write
+  rather than flagged.  Any subscript store with a non-index key on shared
+  state is still a hazard.
+* **Method-alias dispatch.**  An attribute assigned a bound method of the
+  same class (``self.accept_flit = self._accept_flit_plain``, swapped by
+  hook setters) is a dispatch slot; a call through it is walked into
+  *every* method ever assigned to that slot anywhere in the class, so the
+  analysis covers the union of plain and observed variants instead of
+  silently skipping the call.
 """
 
 from __future__ import annotations
@@ -78,8 +94,10 @@ from typing import Sequence
 #: The Link pipeline API: calls that preserve the delay >= 1 argument.
 LINK_API_CALLS = frozenset({"send", "receive", "capacity_remaining", "in_flight"})
 
-#: Link fields that are safe to read (configuration and lifetime counters).
-LINK_API_FIELDS = frozenset({"width", "delay", "total_sent"})
+#: Link fields that are safe to read (configuration and lifetime counters,
+#: plus ``pending``, the documented O(1) occupancy counter ``in_flight``
+#: returns verbatim -- reading it commutes exactly like calling in_flight).
+LINK_API_FIELDS = frozenset({"width", "delay", "total_sent", "pending"})
 
 #: Method names assumed to mutate their receiver when the class is opaque.
 MUTATOR_METHODS = frozenset(
@@ -363,6 +381,10 @@ class ActorModel:
         self.info = info
         self.attrs: dict[str, AttrClass] = {}
         self.param_classes: dict[str, AttrClass] = {}
+        # Dispatch slots: attribute name -> every method of this class ever
+        # assigned to it (``self.X = self._X_plain`` and the hook-setter
+        # swaps).  A call through the slot is analysed as the union.
+        self.method_aliases: dict[str, list[str]] = {}
         init = info.method("__init__")
         if init is not None:
             self._classify_params(init, collection, all_collections)
@@ -422,10 +444,19 @@ class ActorModel:
                 self.attrs.setdefault(target.attr, AttrClass(OWNED))
         elif isinstance(stmt, ast.Assign):
             for target in stmt.targets:
-                if not self._is_self_attr(target) or target.attr in self.attrs:
+                if not self._is_self_attr(target):
                     continue
-                if in_init and isinstance(stmt.value, ast.Name):
-                    param = self.param_classes.get(stmt.value.id)
+                value = stmt.value
+                if self._is_self_attr(value) and self.info.method(value.attr) is not None:
+                    targets = self.method_aliases.setdefault(target.attr, [])
+                    if value.attr not in targets:
+                        targets.append(value.attr)
+                    self.attrs.setdefault(target.attr, AttrClass(OWNED))
+                    continue
+                if target.attr in self.attrs:
+                    continue
+                if in_init and isinstance(value, ast.Name):
+                    param = self.param_classes.get(value.id)
                     if param is not None:
                         self.attrs[target.attr] = param
                         continue
@@ -640,8 +671,21 @@ class _EffectWalker:
             base = self._eval(target.value, env, depth, where)
             self._check_write(base, target.attr, target.lineno, where)
         elif isinstance(target, ast.Subscript):
-            self._eval(target.slice, env, depth, where)
+            index = self._eval(target.slice, env, depth, where)
             base = self._eval(target.value, env, depth, where)
+            if index.kind == INDEX and base.kind in (SHARED, NETWORK):
+                # A per-actor slot keyed by the phase loop's own index:
+                # iteration i writes only slot i, so the slots are disjoint
+                # across actors and the store cannot race within the phase
+                # (the worklist-flag pattern).  Record it as a write.
+                if base.chain:
+                    chain = ".".join(base.chain + ("[]",))
+                elif base.cls is not None:
+                    chain = f"{base.cls}.[]"
+                else:
+                    chain = "[]"
+                self.phase.writes.add(chain)
+                return
             self._check_write(base, "[]", target.lineno, where)
 
     def _check_write(self, base: Val, attr: str, line: int, where: str) -> None:
@@ -861,6 +905,14 @@ class _EffectWalker:
                 bound = dict(zip(_param_names(method), args))
                 bound.update(keywords)
                 self.walk_method(model, method, bound, depth + 1, where)
+                return Val(OWNED)
+            # Dispatch slot: walk every method ever assigned to it.
+            for alias in model.method_aliases.get(name, ()):
+                aliased = model.info.method(alias)
+                if aliased is not None:
+                    bound = dict(zip(_param_names(aliased), args))
+                    bound.update(keywords)
+                    self.walk_method(model, aliased, bound, depth + 1, where)
             return Val(OWNED)
         if base.kind == NETWORK:
             method = self.analyzer.info.method(name)
@@ -877,19 +929,19 @@ class _EffectWalker:
                 )
             return Val(SCALAR)
         if base.kind in (SHARED, ACTORS):
-            resolved = self._resolve_shared_method(base, name)
-            if resolved is not None:
-                model, method = resolved
-                bound = dict(zip(_param_names(method), args))
-                bound.update(keywords)
-                self.walk_method(
-                    model,
-                    method,
-                    bound,
-                    depth + 1,
-                    where,
-                    self_val=Val(SHARED, cls=model.info.name, chain=(model.info.name,)),
-                )
+            resolved = self._resolve_shared_methods(base, name)
+            if resolved:
+                for model, method in resolved:
+                    bound = dict(zip(_param_names(method), args))
+                    bound.update(keywords)
+                    self.walk_method(
+                        model,
+                        method,
+                        bound,
+                        depth + 1,
+                        where,
+                        self_val=Val(SHARED, cls=model.info.name, chain=(model.info.name,)),
+                    )
                 return Val(SCALAR)
             if name in MUTATOR_METHODS:
                 self._hazard(
@@ -909,18 +961,24 @@ class _EffectWalker:
             return None
         return self.analyzer.actor_model(base.cls)
 
-    def _resolve_shared_method(
+    def _resolve_shared_methods(
         self, base: Val, name: str
-    ) -> tuple[ActorModel, ast.FunctionDef] | None:
+    ) -> list[tuple[ActorModel, ast.FunctionDef]]:
         if base.cls is None:
-            return None
+            return []
         model = self.analyzer.actor_model(base.cls)
         if model is None:
-            return None
+            return []
         method = model.info.method(name)
-        if method is None:
-            return None
-        return model, method
+        if method is not None:
+            return [(model, method)]
+        # Dispatch slot: every method ever assigned to it.
+        resolved = []
+        for alias in model.method_aliases.get(name, ()):
+            aliased = model.info.method(alias)
+            if aliased is not None:
+                resolved.append((model, aliased))
+        return resolved
 
     def _bind_target(self, target: ast.expr, value: Val, env: dict[str, Val]) -> None:
         if isinstance(target, ast.Name):

@@ -56,27 +56,36 @@ class VCNodeInterface:
         """Packets waiting or partially injected (the warm-up signal)."""
         return len(self.packet_queue) + (1 if self._pending else 0)
 
-    def inject(self, cycle: int) -> None:
-        """Try to push one flit into the router's local input this cycle."""
-        if not self._pending and self.packet_queue:
+    def inject(self, cycle: int) -> bool:
+        """Try to push one flit into the router's local input this cycle.
+
+        Returns whether the NI still has flits or packets to inject (the
+        network worklist predicate; a credit-stalled NI stays active until
+        its backlog drains, so credit returns never need to wake it).
+        """
+        pending = self._pending
+        if not pending:
+            if not self.packet_queue:
+                return False
             self._start_next_packet()
-        if not self._pending:
-            return
+            if not pending:
+                return True  # no free injection VC; retry next cycle
         vc = self._inject_vc
         if self.config.buffer_sharing == "pool":
             outstanding = self.config.buffers_per_vc - self._credits[vc]
             if outstanding >= 1 and self._shared_credits <= 0:
-                return
+                return True
             if outstanding >= 1:
                 self._shared_credits -= 1
         elif self._credits[vc] <= 0:
-            return
-        flit = self._pending.popleft()
+            return True
+        flit = pending.popleft()
         self._credits[vc] -= 1
         self.router.accept_flit(INJECT, vc, flit, cycle)
-        if not self._pending:
+        if not pending:
             self._owned[vc] = False
             self._inject_vc = -1
+        return bool(pending or self.packet_queue)
 
     def _start_next_packet(self) -> None:
         free = [vc for vc in range(self.config.num_vcs) if self._allocatable(vc)]

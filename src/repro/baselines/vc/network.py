@@ -67,6 +67,15 @@ class VCNetwork(NetworkModel):
             VCNodeInterface(self.routers[node], config, self.rng.spawn(30_000 + node))
             for node in mesh.nodes()
         ]
+        # Active-set worklists: one flag per router (gating all three router
+        # phases -- the router re-raises it via accept_flit and link wakes)
+        # and one per NI (raised at enqueue, lowered when its backlog
+        # drains).  Everything starts active for a full first sweep.
+        n = len(self.routers)
+        self._active = bytearray(b"\x01" * n)
+        self._ni_active = bytearray(b"\x01" * n)
+        for node in mesh.nodes():
+            self.routers[node].bind_activity(self._active, node)
         self._wire_links()
         self.occupancy: OccupancyTracker | None = None
         self._occupancy_node = track_occupancy_node
@@ -86,6 +95,9 @@ class VCNetwork(NetworkModel):
                 credit: Link[int] = Link(self.config.credit_link_delay)
                 router.connect_output(port, data, credit)
                 self.routers[neighbor].connect_input(opposite_port(port), data, credit)
+                # Flit sends wake the neighbor, credit sends wake this router.
+                data.set_wake(self._active, neighbor)
+                credit.set_wake(self._active, node)
 
     def _make_eject(self, node: int) -> Callable[[VCFlit, int], None]:
         def eject(flit: VCFlit, cycle: int) -> None:
@@ -102,19 +114,41 @@ class VCNetwork(NetworkModel):
         return self.interfaces[node].queue_length
 
     def step(self, cycle: int) -> None:
+        # Active-set sweep: full eval_order walks (deterministic iteration
+        # order untouched) stepping only flagged nodes.  One flag gates all
+        # three router phases; route_and_allocate runs last and computes the
+        # activity predicate.  Skipping an idle router is digest-identical to
+        # stepping it: an empty phase mutates nothing and draws no randomness.
         for node in self.eval_order:
-            self.routers[node].deliver_credits(cycle)
-            self.routers[node].switch_traversal(cycle)
+            if self._active[node]:
+                self.routers[node].deliver_credits(cycle)
+                self.routers[node].switch_traversal(cycle)
         for node in self.eval_order:
-            self.routers[node].deliver_flits(cycle)
+            if self._active[node]:
+                self.routers[node].deliver_flits(cycle)
         for packet in self._create_packets(cycle):
-            self.interfaces[packet.source].enqueue(packet)
+            source = packet.source
+            self.interfaces[source].enqueue(packet)
+            self._ni_active[source] = 1
         for node in self.eval_order:
-            self.interfaces[node].inject(cycle)
+            if self._ni_active[node] and not self.interfaces[node].inject(cycle):
+                self._ni_active[node] = 0
         for node in self.eval_order:
-            self.routers[node].route_and_allocate(cycle)
+            if self._active[node] and not self.routers[node].route_and_allocate(cycle):
+                self._active[node] = 0
         if self.occupancy is not None:
             self._sample_occupancy(cycle)
+
+    def rearm_activity(self) -> None:
+        """Mark every component active (next cycle is a full dense sweep).
+
+        Worklist flags are a pure performance device -- raising them all is
+        always safe and is how tests force dense stepping for equivalence
+        checks.
+        """
+        n = len(self.routers)
+        self._active[:] = b"\x01" * n
+        self._ni_active[:] = b"\x01" * n
 
     def _sample_occupancy(self, cycle: int) -> None:
         """Track the west input of the chosen router, as in Section 4.2's

@@ -44,7 +44,9 @@ class ControlFlit:
     of each router rewrites it with ``t_d + t_p`` as it makes reservations.
     ``scheduled[i]`` tracks which led flits this router has already reserved,
     so a control flit stalled mid-schedule (per-flit policy) does not reserve
-    twice.
+    twice.  ``unscheduled`` mirrors the number of False entries so the hot
+    serve loops test completeness with one attribute read; every writer of
+    ``scheduled`` keeps it in sync.
     """
 
     __slots__ = (
@@ -54,6 +56,7 @@ class ControlFlit:
         "data_flits",
         "arrival_times",
         "scheduled",
+        "unscheduled",
         "vcid",
         "forward_at",
         "credited",
@@ -72,6 +75,7 @@ class ControlFlit:
         self.data_flits = data_flits
         self.arrival_times = [-1] * len(data_flits)
         self.scheduled = [False] * len(data_flits)
+        self.unscheduled = len(data_flits)
         self.vcid = -1
         # The control-link slot reserved for this flit's forwarding, fixed
         # when its scheduling at the current hop commits (always at least one
@@ -90,12 +94,14 @@ class ControlFlit:
 
     def reset_schedule_flags(self) -> None:
         """Clear per-hop scheduling progress before the next router."""
-        for i in range(len(self.scheduled)):
-            self.scheduled[i] = False
+        scheduled = self.scheduled
+        for i in range(len(scheduled)):
+            scheduled[i] = False
+        self.unscheduled = len(scheduled)
         self.forward_at = -1
 
     def fully_scheduled(self) -> bool:
-        return all(self.scheduled)
+        return not self.unscheduled
 
     def split_scheduled(self) -> "ControlFlit":
         """Split off a control flit carrying the already-scheduled flits.
@@ -119,10 +125,12 @@ class ControlFlit:
         )
         split.arrival_times = [self.arrival_times[i] for i in done]
         split.scheduled = [True] * len(done)
+        split.unscheduled = 0
         keep = [i for i, flag in enumerate(self.scheduled) if not flag]
         self.data_flits = [self.data_flits[i] for i in keep]
         self.arrival_times = [self.arrival_times[i] for i in keep]
         self.scheduled = [False] * len(keep)
+        self.unscheduled = len(keep)
         self.is_head = False
         return split
 
@@ -136,21 +144,104 @@ class ControlFlit:
         )
 
 
+class FlitPool:
+    """Free-list recycling for data and control flits.
+
+    A network run churns through one ``DataFlit`` per payload flit and one
+    ``ControlFlit`` per group, but only a bounded number are ever in flight
+    at once.  The network owns one pool and releases flits at their single
+    well-defined end of life: a data flit when it ejects at its destination
+    (after its latency is recorded), a control flit when the destination
+    router consumes it.  ``acquire_*`` reinitialises every field in place --
+    including clearing and refilling a recycled control flit's per-group
+    lists -- so a recycled flit is indistinguishable from a fresh one, and
+    nothing downstream retains flit objects (observers copy scalar fields,
+    digests key on packet ids).  Packets are NOT pooled: their identity is
+    the unit of accounting everywhere.
+    """
+
+    __slots__ = ("_data_free", "_control_free", "data_recycled", "control_recycled")
+
+    def __init__(self) -> None:
+        self._data_free: list[DataFlit] = []
+        self._control_free: list[ControlFlit] = []
+        # Diagnostics: how many acquisitions were served from the free lists.
+        self.data_recycled = 0
+        self.control_recycled = 0
+
+    def acquire_data(self, packet: Packet, index: int) -> DataFlit:
+        if self._data_free:
+            flit = self._data_free.pop()
+            self.data_recycled += 1
+            flit.packet = packet
+            flit.index = index
+            flit.injection_cycle = -1
+            return flit
+        return DataFlit(packet, index)
+
+    def release_data(self, flit: DataFlit) -> None:
+        self._data_free.append(flit)
+
+    def acquire_control(self, packet: Packet, is_head: bool, is_last: bool) -> ControlFlit:
+        """Return a control flit with empty per-group lists, ready to fill."""
+        if self._control_free:
+            flit = self._control_free.pop()
+            self.control_recycled += 1
+            flit.packet = packet
+            flit.is_head = is_head
+            flit.is_last = is_last
+            flit.data_flits.clear()
+            flit.arrival_times.clear()
+            flit.scheduled.clear()
+            flit.unscheduled = 0
+            flit.vcid = -1
+            flit.forward_at = -1
+            flit.credited = True
+            return flit
+        flit = ControlFlit(packet, is_head=is_head, is_last=is_last, data_flits=[])
+        return flit
+
+    def release_control(self, flit: ControlFlit) -> None:
+        self._control_free.append(flit)
+
+
+#: Fallback for pool-less expansion (tests, ad-hoc construction).  Nothing
+#: ever releases into it, so its free lists stay empty and every acquire
+#: constructs a fresh flit -- exactly the un-pooled behavior, single-path.
+_FRESH = FlitPool()
+
+
 def packet_to_control_flits(
-    packet: Packet, data_flits_per_control: int
+    packet: Packet, data_flits_per_control: int, pool: FlitPool | None = None
 ) -> tuple[list[ControlFlit], list[DataFlit]]:
-    """Expand a packet into its control flit sequence and data flits."""
-    data_flits = [DataFlit(packet, i) for i in range(packet.length)]
-    control_flits: list[ControlFlit] = []
+    """Expand a packet into its control flit sequence and data flits.
+
+    With a ``pool``, flit objects come from its free lists and the group
+    lists of recycled control flits are refilled in place.
+    """
     d = data_flits_per_control
-    groups = [data_flits[i : i + d] for i in range(0, len(data_flits), d)]
-    for group_index, group in enumerate(groups):
-        control_flits.append(
-            ControlFlit(
-                packet,
-                is_head=group_index == 0,
-                is_last=group_index == len(groups) - 1,
-                data_flits=group,
-            )
+    if pool is None:
+        pool = _FRESH
+    length = packet.length
+    data_flits = [pool.acquire_data(packet, i) for i in range(length)]
+    control_flits = []
+    n_groups = (length + d - 1) // d
+    for group_index in range(n_groups):
+        flit = pool.acquire_control(
+            packet,
+            is_head=group_index == 0,
+            is_last=group_index == n_groups - 1,
         )
+        group = flit.data_flits
+        arrival_times = flit.arrival_times
+        scheduled = flit.scheduled
+        stop = (group_index + 1) * d
+        if stop > length:
+            stop = length
+        for i in range(group_index * d, stop):
+            group.append(data_flits[i])
+            arrival_times.append(-1)
+            scheduled.append(False)
+        flit.unscheduled = len(group)
+        control_flits.append(flit)
     return control_flits, data_flits

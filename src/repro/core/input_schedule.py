@@ -32,6 +32,15 @@ class InputScheduleError(Exception):
     """Raised when arrivals and reservations disagree -- a protocol bug."""
 
 
+# Shared sentinel for "no departures this cycle": the caller only iterates
+# the returned list, so handing every idle call the same immutable-by-
+# convention empty list avoids an allocation on the dominant path.
+_NO_DEPARTURES: list[tuple[DataFlit, int]] = []
+
+#: ``next_departure`` when nothing is scheduled -- later than any real cycle.
+_NEVER = 1 << 60
+
+
 class InputScheduler:
     """Directs data flit movement through one input port."""
 
@@ -41,8 +50,11 @@ class InputScheduler:
         "departures",
         "schedule_list",
         "port_uses",
+        "next_departure",
         "bookkeeper",
-        "on_buffer_event",
+        "on_arrival",
+        "take_departures",
+        "_on_buffer_event",
         "flits_bypassed",
         "flits_buffered",
         "early_arrivals",
@@ -57,14 +69,37 @@ class InputScheduler:
         # the output schedulers consult this to respect the number of buffer
         # read ports (paper footnote 7).
         self.port_uses: dict[int, int] = {}
+        # Earliest outstanding departure cycle (min over port_uses keys, which
+        # cover every departures key): lets the router skip take_departures
+        # entirely on cycles where both pops would be no-ops.
+        self.next_departure = _NEVER
         self.bookkeeper = IntervalBookkeeper(pool_size) if track_transfers else None
         # Observability hook: ("alloc"|"free", cycle, occupied-after).  Pure
-        # observer -- the scheduler never consults it.
-        self.on_buffer_event: Optional[Callable[[str, int, int], None]] = None
+        # observer -- the scheduler never consults it.  The public name is a
+        # property; setting it swaps the on_arrival/take_departures dispatch
+        # slots between plain and observed variants, so a detached scheduler
+        # pays no per-event hook branches.
+        self._on_buffer_event: Optional[Callable[[str, int, int], None]] = None
+        self.on_arrival = self._on_arrival_plain
+        self.take_departures = self._take_departures_plain
         # Diagnostics.
         self.flits_bypassed = 0
         self.flits_buffered = 0
         self.early_arrivals = 0
+
+    @property
+    def on_buffer_event(self) -> Optional[Callable[[str, int, int], None]]:
+        return self._on_buffer_event
+
+    @on_buffer_event.setter
+    def on_buffer_event(self, hook: Optional[Callable[[str, int, int], None]]) -> None:
+        self._on_buffer_event = hook
+        if hook is None:
+            self.on_arrival = self._on_arrival_plain
+            self.take_departures = self._take_departures_plain
+        else:
+            self.on_arrival = self._on_arrival_observed
+            self.take_departures = self._take_departures_observed
 
     def on_reservation(self, now: int, arrival: int, departure: int, out_port: int) -> None:
         """Record the output scheduler's feedback for one data flit.
@@ -80,6 +115,8 @@ class InputScheduler:
         if self.bookkeeper is not None:
             self.bookkeeper.book(arrival, departure)
         self.port_uses[departure] = self.port_uses.get(departure, 0) + 1
+        if departure < self.next_departure:
+            self.next_departure = departure
         if arrival >= now:
             if arrival in self.expected:
                 raise InputScheduleError(
@@ -106,26 +143,35 @@ class InputScheduler:
         """Departures already scheduled from this input at ``cycle``."""
         return self.port_uses.get(cycle, 0)
 
-    def take_departures(self, now: int) -> list[tuple[DataFlit, int]]:
+    def _take_departures_plain(self, now: int) -> list[tuple[DataFlit, int]]:
         """Pop this cycle's scheduled (flit, output port) departures.
 
         Buffers are freed here, *before* arrivals are processed, so a buffer
         vacated at cycle t is usable by a flit arriving at cycle t -- the
         zero-turnaround reuse the reservation accounting promises.
         """
-        self.port_uses.pop(now, None)
-        entries = self.departures.pop(now, None)
+        port_uses = self.port_uses
+        if port_uses:
+            port_uses.pop(now, None)
+            self.next_departure = min(port_uses) if port_uses else _NEVER
+        departures = self.departures
+        entries = departures.pop(now, None) if departures else None
         if not entries:
-            return []
-        released = [
-            (self.pool.release(buffer_index), out_port) for buffer_index, out_port in entries
-        ]
-        if self.on_buffer_event is not None:
+            return _NO_DEPARTURES
+        release = self.pool.release
+        return [(release(buffer_index), out_port) for buffer_index, out_port in entries]
+
+    def _take_departures_observed(self, now: int) -> list[tuple[DataFlit, int]]:
+        # Lockstep twin of _take_departures_plain plus the buffer events.
+        released = self._take_departures_plain(now)
+        if released:
+            hook = self._on_buffer_event
+            occupied = self.pool.occupied
             for _ in released:
-                self.on_buffer_event("free", now, self.pool.occupied)
+                hook("free", now, occupied)
         return released
 
-    def on_arrival(self, now: int, flit: DataFlit) -> int | None:
+    def _on_arrival_plain(self, now: int, flit: DataFlit) -> int | None:
         """Handle a data flit arriving this cycle.
 
         Returns the output port when the flit *bypasses* -- departs this
@@ -139,19 +185,27 @@ class InputScheduler:
             self.schedule_list[now] = buffer_index
             self.early_arrivals += 1
             self.flits_buffered += 1
-            if self.on_buffer_event is not None:
-                self.on_buffer_event("alloc", now, self.pool.occupied)
             return None
         departure, out_port = reservation
         if departure == now:
             self.flits_bypassed += 1
             return out_port
         buffer_index = self.pool.allocate(flit)
-        self.departures.setdefault(departure, []).append((buffer_index, out_port))
+        bucket = self.departures.get(departure)
+        if bucket is None:
+            self.departures[departure] = bucket = []
+        bucket.append((buffer_index, out_port))
         self.flits_buffered += 1
-        if self.on_buffer_event is not None:
-            self.on_buffer_event("alloc", now, self.pool.occupied)
         return None
+
+    def _on_arrival_observed(self, now: int, flit: DataFlit) -> int | None:
+        # Lockstep twin of _on_arrival_plain; the alloc event fires exactly
+        # when a buffer was taken (every path except the bypass).
+        occupied_before = self.pool.occupied
+        result = self._on_arrival_plain(now, flit)
+        if self.pool.occupied != occupied_before:
+            self._on_buffer_event("alloc", now, self.pool.occupied)
+        return result
 
     @property
     def occupancy(self) -> int:

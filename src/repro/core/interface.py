@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.config import FRConfig
-from repro.core.flits import ControlFlit, DataFlit, packet_to_control_flits
+from repro.core.flits import ControlFlit, DataFlit, FlitPool, packet_to_control_flits
 from repro.core.reservation import OutputReservationTable
 from repro.core.router import FRRouter
 from repro.sim.rng import DeterministicRng
@@ -38,20 +38,34 @@ class FRNodeInterface:
         "router",
         "config",
         "rng",
+        "pool",
         "control_queue",
         "injection_table",
         "_data_ready",
         "_ctrl_credits",
         "_ctrl_vc_owned",
         "_inject_vc",
+        "_num_vcs",
+        "_ctrl_budget",
+        "_per_flit",
+        "_lead",
+        "_data_flags",
+        "_data_wake",
         "packets_pending",
         "data_flits_pending",
     )
 
-    def __init__(self, router: FRRouter, config: FRConfig, rng: DeterministicRng) -> None:
+    def __init__(
+        self,
+        router: FRRouter,
+        config: FRConfig,
+        rng: DeterministicRng,
+        pool: FlitPool | None = None,
+    ) -> None:
         self.router = router
         self.config = config
         self.rng = rng
+        self.pool = pool
         self.control_queue: deque[ControlFlit] = deque()
         self.injection_table = OutputReservationTable(
             config.scheduling_horizon,
@@ -62,15 +76,31 @@ class FRNodeInterface:
         self._ctrl_credits = [config.control_buffers_per_vc] * config.control_vcs
         self._ctrl_vc_owned = [False] * config.control_vcs
         self._inject_vc = -1  # control VC of the packet currently injecting
+        # Hot-path copies of config scalars (see FRRouter.__init__).
+        self._num_vcs = config.control_vcs
+        self._ctrl_budget = config.control_flits_per_cycle
+        self._per_flit = config.scheduling_policy == "per_flit"
+        self._lead = max(config.injection_lead, 1)
+        # Wake slot for the data phase, rebound to the network's worklist
+        # array by bind_activity; the control phase needs no wake because its
+        # activity predicate is simply a non-empty control queue (set at
+        # enqueue time by the network).
+        self._data_flags = bytearray(1)
+        self._data_wake = 0
         self.packets_pending = 0
         self.data_flits_pending = 0
         router.ni_advance_credit = self._advance_credit
         router.ni_control_credit = self._control_credit
 
+    def bind_activity(self, data_flags: bytearray, index: int) -> None:
+        """Point this NI's data-phase wake slot at the network's worklist."""
+        self._data_flags = data_flags
+        self._data_wake = index
+
     def enqueue(self, packet: Packet) -> None:
         """Expand a new packet into control + data flits and queue them."""
         control_flits, data_flits = packet_to_control_flits(
-            packet, self.config.data_flits_per_control
+            packet, self.config.data_flits_per_control, self.pool
         )
         self.control_queue.extend(control_flits)
         self.packets_pending += 1
@@ -83,19 +113,26 @@ class FRNodeInterface:
 
     # -- control-side cycle -------------------------------------------------------
 
-    def control_phase(self, now: int) -> None:
-        """Schedule data injections and inject control flits, FIFO order."""
-        budget = self.config.control_flits_per_cycle
-        while budget > 0 and self.control_queue:
-            flit = self.control_queue[0]
-            if not flit.fully_scheduled():
+    def control_phase(self, now: int) -> bool:
+        """Schedule data injections and inject control flits, FIFO order.
+
+        Returns whether control flits remain queued (the activity predicate:
+        a stalled NI stays active until its queue drains, so credit returns
+        never need to wake it).
+        """
+        budget = self._ctrl_budget
+        queue = self.control_queue
+        while budget > 0 and queue:
+            flit = queue[0]
+            if flit.unscheduled:
                 budget -= 1
                 if not self._schedule_injections(flit, now):
                     self._maybe_inject_split(flit, now)
-                    return  # head of line stalls: retry next cycle
+                    return True  # head of line stalls: retry next cycle
             if not self._try_inject_control(flit, now):
-                return
+                return True
         # Injection of later flits continues next cycle; FIFO order preserved.
+        return bool(queue)
 
     def _maybe_inject_split(self, flit: ControlFlit, now: int) -> None:
         """Forward a stalled wide control flit's progress as a split flit.
@@ -107,7 +144,7 @@ class FRNodeInterface:
         data flits can be scheduled onward at the router and free the pool.
         Only reachable with d > 1 under the per-flit policy.
         """
-        if self.config.scheduling_policy != "per_flit" or not any(flit.scheduled):
+        if not self._per_flit or not any(flit.scheduled):
             return
         split = flit.split_scheduled()
         self.control_queue.appendleft(split)
@@ -117,16 +154,17 @@ class FRNodeInterface:
             return
 
     def _schedule_injections(self, flit: ControlFlit, now: int) -> bool:
-        earliest = now + max(self.config.injection_lead, 1)
-        if self.config.scheduling_policy == "all_or_nothing":
+        earliest = now + self._lead
+        if not self._per_flit:
             return self._schedule_all_or_nothing(flit, now, earliest)
-        for i, data_flit in enumerate(flit.data_flits):
-            if flit.scheduled[i]:
+        table = self.injection_table
+        scheduled = flit.scheduled
+        for i in range(len(flit.data_flits)):
+            if scheduled[i]:
                 continue
-            departure = self.injection_table.find_departure(now, earliest)
+            departure = table.reserve_earliest(now, earliest)
             if departure is None:
                 return False
-            self.injection_table.reserve(now, departure)
             self._commit_injection(flit, i, departure)
         return True
 
@@ -150,14 +188,19 @@ class FRNodeInterface:
         # arrival time the control flit carries is the departure itself.
         flit.arrival_times[i] = departure
         flit.scheduled[i] = True
-        self._data_ready.setdefault(departure, []).append(flit.data_flits[i])
+        flit.unscheduled -= 1
+        bucket = self._data_ready.get(departure)
+        if bucket is None:
+            self._data_ready[departure] = bucket = []
+        bucket.append(flit.data_flits[i])
+        self._data_flags[self._data_wake] = 1
 
     def _try_inject_control(self, flit: ControlFlit, now: int) -> bool:
         if flit.is_head:
             if self._inject_vc == -1:
                 free = [
                     vc
-                    for vc in range(self.config.control_vcs)
+                    for vc in range(self._num_vcs)
                     if not self._ctrl_vc_owned[vc]
                 ]
                 if not free:
@@ -182,15 +225,22 @@ class FRNodeInterface:
 
     # -- data-side cycle ------------------------------------------------------------
 
-    def data_phase(self, now: int) -> None:
-        """Deliver data flits whose reserved injection cycle is now."""
-        flits = self._data_ready.pop(now, None)
-        if not flits:
-            return
-        for flit in flits:
-            flit.injection_cycle = now
-            self.data_flits_pending -= 1
-            self.router.inject_data(flit, now)
+    def data_phase(self, now: int) -> bool:
+        """Deliver data flits whose reserved injection cycle is now.
+
+        Returns whether reserved injections remain for future cycles.
+        """
+        ready = self._data_ready
+        if not ready:
+            return False
+        flits = ready.pop(now, None)
+        if flits is not None:
+            router = self.router
+            for flit in flits:
+                flit.injection_cycle = now
+                self.data_flits_pending -= 1
+                router.inject_data(flit, now)
+        return bool(ready)
 
     # -- credits from the router (on-node, no link delay) ------------------------------
 

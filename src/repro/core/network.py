@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.config import FRConfig
-from repro.core.flits import ControlFlit, DataFlit
+from repro.core.flits import ControlFlit, DataFlit, FlitPool
 from repro.core.interface import FRNodeInterface
 from repro.core.router import FRRouter
 from repro.sim.link import Link
@@ -58,6 +58,7 @@ class FRNetwork(NetworkModel):
             streaming=streaming,
         )
         self.config = config
+        self.flit_pool = FlitPool()
         self.routers = [
             FRRouter(
                 node,
@@ -70,9 +71,26 @@ class FRNetwork(NetworkModel):
             for node in mesh.nodes()
         ]
         self.interfaces = [
-            FRNodeInterface(self.routers[node], config, self.rng.spawn(30_000 + node))
+            FRNodeInterface(
+                self.routers[node], config, self.rng.spawn(30_000 + node), self.flit_pool
+            )
             for node in mesh.nodes()
         ]
+        # Active-set worklists, one flag per node per phase.  A component is
+        # stepped only while its flag is up; it re-raises its own flag when
+        # it gains work (see docs/performance.md), links raise the consumer's
+        # flag on send (set_wake in _wire_links), and the step loops lower a
+        # flag when the phase reports itself drained.  Everything starts
+        # active so the first cycle is a full dense sweep.
+        n = len(self.routers)
+        self._ctrl_active = bytearray(b"\x01" * n)
+        self._ni_ctrl_active = bytearray(b"\x01" * n)
+        self._dep_active = bytearray(b"\x01" * n)
+        self._ni_data_active = bytearray(b"\x01" * n)
+        self._arr_active = bytearray(b"\x01" * n)
+        for node in mesh.nodes():
+            self.routers[node].bind_activity(self._ctrl_active, self._dep_active, node)
+            self.interfaces[node].bind_activity(self._ni_data_active, node)
         self._wire_links()
         # Per-data-flit network latency (injection to ejection), the quantity
         # behind the paper's "base data latency of 6 cycles" observation.
@@ -101,7 +119,7 @@ class FRNetwork(NetworkModel):
             for port in self.mesh.mesh_ports(node):
                 neighbor = self.mesh.neighbor(node, port)
                 data: Link[DataFlit] = Link(cfg.data_link_delay)
-                ctrl: Link[tuple[int, ControlFlit]] = Link(
+                ctrl: Link[ControlFlit] = Link(
                     cfg.control_link_delay, width=cfg.control_flits_per_cycle
                 )
                 adv_credit: Link[int] = Link(cfg.credit_link_delay, width=adv_credit_width)
@@ -110,6 +128,14 @@ class FRNetwork(NetworkModel):
                 self.routers[neighbor].connect_input(
                     opposite_port(port), data, ctrl, adv_credit, ctrl_credit
                 )
+                # Sends wake the consuming side: data flits wake the
+                # neighbor's arrival phase, control flits its control phase,
+                # and both credit streams wake this router's control phase
+                # (credits travel the reverse direction).
+                data.set_wake(self._arr_active, neighbor)
+                ctrl.set_wake(self._ctrl_active, neighbor)
+                adv_credit.set_wake(self._ctrl_active, node)
+                ctrl_credit.set_wake(self._ctrl_active, node)
 
     # -- delivery hooks -------------------------------------------------------------
 
@@ -123,13 +149,16 @@ class FRNetwork(NetworkModel):
             if flit.injection_cycle >= 0 and flit.packet.measured:
                 self.data_flit_latency.record(cycle - flit.injection_cycle)
             self._eject_flit(flit.packet, cycle)
+            # Single end of life for a data flit: delivered and accounted.
+            self.flit_pool.release_data(flit)
 
         return eject
 
     def _on_control_consumed(self, flit: ControlFlit, cycle: int) -> None:
         # Reassembly scheduling is complete for this control flit; nothing
-        # further to model (reassembly buffers are infinite).
-        pass
+        # further to model (reassembly buffers are infinite).  Single end of
+        # life for a control flit: recycle it.
+        self.flit_pool.release_control(flit)
 
     def _on_control_arrival(self, flit: ControlFlit, node: int, cycle: int) -> None:
         if flit.is_head and cycle >= 0 and flit.packet.destination == node:
@@ -147,20 +176,50 @@ class FRNetwork(NetworkModel):
     # -- the cycle ----------------------------------------------------------------
 
     def step(self, cycle: int) -> None:
+        # Active-set sweep: each phase visits eval_order in full (so the
+        # deterministic iteration order is untouched) but only *steps* nodes
+        # whose flag is up, lowering the flag when the phase reports itself
+        # drained.  Skipping an inactive node is digest-identical to stepping
+        # it: a drained phase performs no state changes and draws no
+        # randomness (every rng call is gated on non-empty work).
         for packet in self._create_packets(cycle):
-            self.interfaces[packet.source].enqueue(packet)
+            source = packet.source
+            self.interfaces[source].enqueue(packet)
+            self._ni_ctrl_active[source] = 1
         for node in self.eval_order:
-            self.routers[node].control_phase(cycle)
+            if self._ctrl_active[node] and not self.routers[node].control_phase(cycle):
+                self._ctrl_active[node] = 0
         for node in self.eval_order:
-            self.interfaces[node].control_phase(cycle)
+            if self._ni_ctrl_active[node] and not self.interfaces[node].control_phase(cycle):
+                self._ni_ctrl_active[node] = 0
         for node in self.eval_order:
-            self.routers[node].data_departures(cycle)
+            if self._dep_active[node] and not self.routers[node].data_departures(cycle):
+                self._dep_active[node] = 0
         for node in self.eval_order:
-            self.interfaces[node].data_phase(cycle)
+            if self._ni_data_active[node] and not self.interfaces[node].data_phase(cycle):
+                self._ni_data_active[node] = 0
         for node in self.eval_order:
-            self.routers[node].data_arrivals(cycle)
+            if self._arr_active[node] and not self.routers[node].data_arrivals(cycle):
+                self._arr_active[node] = 0
         if self.occupancy is not None:
             self._sample_occupancy(cycle)
+
+    def rearm_activity(self) -> None:
+        """Mark every component active (next cycle is a full dense sweep).
+
+        Worklist flags are a pure performance device -- raising them all is
+        always safe and is how tests force dense stepping for equivalence
+        checks.
+        """
+        n = len(self.routers)
+        for flags in (
+            self._ctrl_active,
+            self._ni_ctrl_active,
+            self._dep_active,
+            self._ni_data_active,
+            self._arr_active,
+        ):
+            flags[:] = b"\x01" * n
 
     def _sample_occupancy(self, cycle: int) -> None:
         router = self.routers[self._occupancy_node]

@@ -23,6 +23,55 @@ reservation; an optimistic one would overbook a downstream buffer):
 * a credit whose start lies beyond the window is parked in ``_pending_credits``
   and applied exactly when its cycle enters the window, and is ignored by
   availability checks until then.
+
+Representation: suffix-difference array
+---------------------------------------
+
+Every mutation the protocol performs on the free counts is a *suffix*
+update ending at the window's last slot: a reservation charges
+``[arrival, end]``, a credit restores ``[from, end]``.  The table therefore
+stores free counts as a difference array ``_dfree`` over the circular
+window -- ``free(u)`` is the prefix sum of ``_dfree`` from the window start
+through ``u`` -- which turns both the charge and the credit into O(1) point
+updates instead of O(horizon) loops.  Sliding stays O(1) per expired cycle:
+the expired head's difference folds into the next slot (values are
+unchanged, the prefix just starts later) and the reborn end slot's
+difference is exactly its matured pending credit.
+
+Two scalars are maintained incrementally on top of the differences:
+
+``_end_free``
+    the exact free count at the window's end slot (the steady state).  Every
+    suffix update touches the end slot, so it is a running total; the credit
+    ledger and the overflow guard read it in O(1).
+
+``_min_free``
+    a *conservative lower bound* on the minimum free count across the whole
+    window.  A reservation lowers the true minimum by at most one (decrement
+    it); credits, releases, and sliding can only raise the true minimum
+    (leave it -- a lower bound survives).  While ``_min_free >= 1`` the
+    scheduling scan below needs no buffer pass at all; when it decays to
+    zero, one O(horizon) prefix scan recomputes it exactly.  Under the
+    paper's sub-saturation loads the bound stays positive for many
+    consecutive reservations, so the common case is scan-free.
+
+Scheduling-scan algorithm
+-------------------------
+
+``find_departure`` needs, for each candidate departure ``t``, the minimum
+free count over the suffix ``[t + t_p, window_end]`` (hold-to-horizon).
+The criterion "suffix minimum >= 1" is equivalent to "no cycle ``u`` in the
+suffix has ``free(u) <= 0``".  When ``_min_free >= 1`` no such ``u`` exists
+anywhere in the window and every candidate passes the buffer test outright.
+Otherwise one forward prefix pass recomputes the exact minimum (refreshing
+``_min_free``) and locates the *last* exhausted cycle ``u_bad``: if the end
+slot itself is exhausted no departure can qualify (every suffix and the
+beyond-window steady state include it), and every ``t`` with
+``t + t_p > u_bad`` passes, so the candidate scan simply starts at
+``max(earliest, u_bad - t_p + 1)`` and picks the first non-busy slot.
+``reserve_earliest`` fuses this scan with the commit (and the caller's
+per-cycle read-port constraint), skipping the per-slot underflow checks
+that the scan criterion already proves cannot fire.
 """
 
 from __future__ import annotations
@@ -40,8 +89,11 @@ class OutputReservationTable:
         "downstream_buffers",
         "propagation_delay",
         "infinite_buffers",
+        "window_end",
         "_busy",
-        "_free",
+        "_dfree",
+        "_end_free",
+        "_min_free",
         "_window_start",
         "_pending_credits",
         "reservations_made",
@@ -64,8 +116,13 @@ class OutputReservationTable:
         self.propagation_delay = propagation_delay
         self.infinite_buffers = infinite_buffers
         self._busy = bytearray(horizon)
-        self._free = [downstream_buffers] * horizon
+        # free(u) == sum of _dfree from the window-start slot through u's.
+        self._dfree = [0] * horizon
+        self._dfree[0] = downstream_buffers
+        self._end_free = downstream_buffers
+        self._min_free = downstream_buffers
         self._window_start = 0  # absolute cycle of the earliest valid slot
+        self.window_end = horizon - 1  # absolute cycle of the last valid slot
         self._pending_credits: dict[int, int] = {}
         # Diagnostics.
         self.reservations_made = 0
@@ -73,42 +130,96 @@ class OutputReservationTable:
 
     # -- window management ----------------------------------------------------
 
-    @property
-    def window_end(self) -> int:
-        """Absolute cycle of the last valid slot (inclusive)."""
-        return self._window_start + self.horizon - 1
-
     def advance(self, now: int) -> None:
         """Slide the window so it covers [now, now + horizon - 1]."""
-        if now <= self._window_start:
+        start = self._window_start
+        if now <= start:
             return
-        steps = now - self._window_start
-        if steps >= self.horizon:
+        horizon = self.horizon
+        if now == start + 1:
+            # Single-cycle slide, the per-cycle common case: one expired
+            # slot, handled without the general loop machinery.
+            slot = start % horizon
+            nxt = slot + 1
+            if nxt == horizon:
+                nxt = 0
+            dfree = self._dfree
+            dfree[nxt] += dfree[slot]
+            self._busy[slot] = 0
+            pending = self._pending_credits
+            if pending:
+                credit = pending.pop(start + horizon, 0)
+                dfree[slot] = credit
+                self._end_free += credit
+            else:
+                dfree[slot] = 0
+            self._window_start = now
+            self.window_end = now + horizon - 1
+            return
+        if now - self._window_start >= horizon:
             # The whole window expired: every slot is reborn from steady state.
             self._rebuild_window(now)
             return
-        end_value = self._free[self.window_end % self.horizon]
-        for expired in range(self._window_start, now):
-            new_cycle = expired + self.horizon
-            end_value += self._pending_credits.pop(new_cycle, 0)
-            slot = expired % self.horizon
-            self._busy[slot] = 0
-            self._free[slot] = end_value
+        busy = self._busy
+        dfree = self._dfree
+        pending = self._pending_credits
+        end_free = self._end_free
+        if pending:
+            for expired in range(self._window_start, now):
+                slot = expired % horizon
+                nxt = slot + 1
+                if nxt == horizon:
+                    nxt = 0
+                # Values are unchanged; the prefix now starts one slot later.
+                dfree[nxt] += dfree[slot]
+                busy[slot] = 0
+                credit = pending.pop(expired + horizon, 0)
+                dfree[slot] = credit
+                end_free += credit
+            self._end_free = end_free
+        else:
+            for expired in range(self._window_start, now):
+                slot = expired % horizon
+                nxt = slot + 1
+                if nxt == horizon:
+                    nxt = 0
+                dfree[nxt] += dfree[slot]
+                busy[slot] = 0
+                dfree[slot] = 0
         self._window_start = now
+        self.window_end = now + horizon - 1
+        # _min_free stays a valid lower bound: expired slots leave (the true
+        # minimum can only rise) and reborn slots carry the end value plus
+        # credits (>= the old minimum).
 
     def _rebuild_window(self, now: int) -> None:
-        end_value = self._free[self.window_end % self.horizon]
-        # Credits that start before the new window apply to all of it.
-        matured = [cycle for cycle in self._pending_credits if cycle <= now]
-        for cycle in matured:
-            end_value += self._pending_credits.pop(cycle)
+        end_value = self._end_free
+        pending = self._pending_credits
+        if pending:
+            # Credits that start before the new window apply to all of it.
+            matured = [cycle for cycle in pending if cycle <= now]
+            for cycle in matured:
+                end_value += pending.pop(cycle)
+        horizon = self.horizon
+        busy = self._busy
+        dfree = self._dfree
+        for slot in range(horizon):
+            busy[slot] = 0
+            dfree[slot] = 0
         self._window_start = now
-        for slot in range(self.horizon):
-            self._busy[slot] = 0
+        self.window_end = now + horizon - 1
+        dfree[now % horizon] = end_value
         running = end_value
-        for cycle in range(now, now + self.horizon):
-            running += self._pending_credits.pop(cycle, 0)
-            self._free[cycle % self.horizon] = running
+        if pending:
+            for cycle in range(now + 1, now + horizon):
+                credit = pending.pop(cycle, 0)
+                if credit:
+                    dfree[cycle % horizon] = credit
+                    running += credit
+        # Values rise monotonically from the steady state, so the window
+        # minimum is exactly the first value.
+        self._min_free = end_value
+        self._end_free = running
 
     # -- queries ---------------------------------------------------------------
 
@@ -126,7 +237,35 @@ class OutputReservationTable:
         self._check_in_window(cycle)
         if self.infinite_buffers:
             return 1 << 30
-        return self._free[cycle % self.horizon]
+        horizon = self.horizon
+        dfree = self._dfree
+        running = 0
+        slot = self._window_start % horizon
+        for _ in range(self._window_start, cycle + 1):
+            running += dfree[slot]
+            slot += 1
+            if slot == horizon:
+                slot = 0
+        return running
+
+    def free_values(self) -> list[int]:
+        """Free counts for every window cycle; index 0 is the window start.
+
+        O(horizon) reconstruction from the difference array -- for
+        invariant checking and introspection, not the scheduling hot path.
+        """
+        horizon = self.horizon
+        dfree = self._dfree
+        values: list[int] = []
+        running = 0
+        slot = self._window_start % horizon
+        for _ in range(horizon):
+            running += dfree[slot]
+            values.append(running)
+            slot += 1
+            if slot == horizon:
+                slot = 0
+        return values
 
     # -- the scheduling operation (paper Section 3) ----------------------------
 
@@ -140,49 +279,152 @@ class OutputReservationTable:
         the hold to the true occupancy).  Returns None when no slot inside
         the horizon qualifies -- the control flit must retry next cycle.
         """
-        self.advance(now)
-        start = max(earliest, now + 1)
+        if now > self._window_start:  # inline advance guard (hot path)
+            self.advance(now)
+        start = now + 1 if earliest <= now else earliest
         end = self.window_end
         if start > end:
             return None
+        horizon = self.horizon
+        busy = self._busy
         if self.infinite_buffers:
             for t in range(start, end + 1):
-                if not self._busy[t % self.horizon]:
+                if not busy[t % horizon]:
                     return t
             return None
-        # Suffix minima of the free counts over [start + t_p, window_end];
-        # positions beyond the window use the end slot's value, which is the
-        # steady state every future slot inherits.
-        suffix_min = self._suffix_minima(start)
-        for t in range(start, end + 1):
-            if self._busy[t % self.horizon]:
-                continue
-            arrival = t + self.propagation_delay
-            minimum = suffix_min[arrival - start] if arrival <= end else suffix_min[-1]
-            if minimum >= 1:
+        if self._min_free >= 1:
+            first_ok = start
+        else:
+            first_ok = self._rescan_first_ok(start, end)
+            if first_ok is None:
+                return None
+        slot = first_ok % horizon
+        for t in range(first_ok, end + 1):
+            if not busy[slot]:
                 return t
+            slot += 1
+            if slot == horizon:
+                slot = 0
         return None
 
-    def _suffix_minima(self, start: int) -> list[float]:
-        """suffix_min[i] = min free count over cycles [start + i, window_end],
-        with one trailing entry for "beyond the window" (the end value)."""
+    def _rescan_first_ok(self, start: int, end: int) -> int | None:
+        """One exact prefix pass: refresh ``_min_free``, bound the scan start.
+
+        Returns the earliest departure that clears every exhausted cycle's
+        hold interval, or None when the end slot itself is exhausted (then
+        no suffix can qualify).
+        """
+        horizon = self.horizon
+        dfree = self._dfree
+        running = 0
+        min_free = 1 << 30
+        last_bad = -1
+        slot = self._window_start % horizon
+        for u in range(self._window_start, end + 1):
+            running += dfree[slot]
+            if running < min_free:
+                min_free = running
+                if running <= 0:
+                    last_bad = u
+            elif running <= 0:
+                last_bad = u
+            slot += 1
+            if slot == horizon:
+                slot = 0
+        self._min_free = min_free
+        if running <= 0:
+            # Every suffix and the beyond-window steady state include the
+            # exhausted end slot: nothing qualifies.
+            return None
+        if last_bad >= start:
+            candidate = last_bad - self.propagation_delay + 1
+            if candidate > start:
+                return candidate
+        return start
+
+    def reserve_earliest(
+        self,
+        now: int,
+        earliest: int,
+        port_uses: dict[int, int] | None = None,
+        port_limit: int = 0,
+    ) -> int | None:
+        """Fused find + commit: reserve the earliest qualifying departure.
+
+        Behaves exactly like ``find_departure`` followed by ``reserve``,
+        except that candidates with ``port_uses[t] >= port_limit`` are
+        skipped (the caller's downstream read-port constraint -- equivalent
+        to the retry-at-``t + 1`` loop the routers used to run, because
+        between retries the table is untouched so the scan resumes from the
+        rejected slot).  Returns the committed departure, or None when no
+        in-window slot qualifies.  Skips the per-slot underflow checks of
+        ``reserve``: the scan criterion guarantees every charged count
+        is >= 1.
+        """
+        if now > self._window_start:  # inline advance guard (hot path)
+            self.advance(now)
+        start = now + 1 if earliest <= now else earliest
         end = self.window_end
-        end_value = self._free[end % self.horizon]
-        minima = [0.0] * (end - start + 2)
-        minima[-1] = end_value
-        running = end_value
-        for t in range(end, start - 1, -1):
-            value = self._free[t % self.horizon]
-            if value < running:
-                running = value
-            minima[t - start] = running
-        return minima
+        if start > end:
+            return None
+        horizon = self.horizon
+        busy = self._busy
+        if self.infinite_buffers:
+            if port_uses is None:
+                for t in range(start, end + 1):
+                    if not busy[t % horizon]:
+                        busy[t % horizon] = 1
+                        self.reservations_made += 1
+                        return t
+            else:
+                for t in range(start, end + 1):
+                    if not busy[t % horizon] and port_uses.get(t, 0) < port_limit:
+                        busy[t % horizon] = 1
+                        self.reservations_made += 1
+                        return t
+            return None
+        if self._min_free >= 1:
+            first_ok = start
+        else:
+            maybe = self._rescan_first_ok(start, end)
+            if maybe is None:
+                return None
+            first_ok = maybe
+        slot = first_ok % horizon
+        if port_uses is None:
+            for t in range(first_ok, end + 1):
+                if not busy[slot]:
+                    break
+                slot += 1
+                if slot == horizon:
+                    slot = 0
+            else:
+                return None
+        else:
+            uses_at = port_uses.get
+            for t in range(first_ok, end + 1):
+                if not busy[slot] and uses_at(t, 0) < port_limit:
+                    break
+                slot += 1
+                if slot == horizon:
+                    slot = 0
+            else:
+                return None
+        busy[slot] = 1
+        self.reservations_made += 1
+        arrival = t + self.propagation_delay
+        charge = arrival if arrival < end else end
+        self._dfree[charge % horizon] -= 1
+        self._end_free -= 1
+        self._min_free -= 1
+        return t
 
     def reserve(self, now: int, departure: int) -> None:
         """Commit a reservation: mark busy and charge the downstream buffer."""
         self.advance(now)
         self._check_in_window(departure)
-        slot = departure % self.horizon
+        horizon = self.horizon
+        slot = departure % horizon
         if self._busy[slot]:
             raise ReservationError(
                 f"double booking: channel already reserved at cycle {departure}"
@@ -193,13 +435,24 @@ class OutputReservationTable:
             return
         arrival = departure + self.propagation_delay
         start = min(arrival, self.window_end)  # beyond-window: charge the end slot
-        for t in range(start, self.window_end + 1):
-            self._free[t % self.horizon] -= 1
-            if self._free[t % self.horizon] < 0:
+        # Validate the whole hold interval before charging (this unfused
+        # path is the all-or-nothing policy's and the tests' safety net).
+        dfree = self._dfree
+        running = 0
+        scan = self._window_start % horizon
+        for u in range(self._window_start, self.window_end + 1):
+            running += dfree[scan]
+            if u >= start and running <= 0:
                 raise ReservationError(
-                    f"free-buffer count went negative at cycle {t}: "
+                    f"free-buffer count went negative at cycle {u}: "
                     "availability check violated"
                 )
+            scan += 1
+            if scan == horizon:
+                scan = 0
+        dfree[start % horizon] -= 1
+        self._end_free -= 1
+        self._min_free -= 1
 
     def release(self, departure: int) -> None:
         """Undo a reservation made this cycle (all-or-nothing rollback)."""
@@ -213,8 +466,10 @@ class OutputReservationTable:
             return
         arrival = departure + self.propagation_delay
         start = min(arrival, self.window_end)
-        for t in range(start, self.window_end + 1):
-            self._free[t % self.horizon] += 1
+        self._dfree[start % self.horizon] += 1
+        self._end_free += 1
+        # _min_free is left alone: the true minimum can only rise, so the
+        # bound stays valid (raising it here could overshoot the minimum).
 
     def apply_credit(self, now: int, from_cycle: int) -> None:
         """Advance credit: the downstream buffer frees from ``from_cycle`` on.
@@ -224,24 +479,25 @@ class OutputReservationTable:
         which is what lets flit-reservation flow control recycle buffers with
         zero turnaround.
         """
-        self.advance(now)
+        if now > self._window_start:  # inline advance guard (hot path)
+            self.advance(now)
         if self.infinite_buffers:
             return
         self.credits_applied += 1
-        start = max(from_cycle, self._window_start)
+        window_start = self._window_start
+        start = from_cycle if from_cycle > window_start else window_start
         if start > self.window_end:
             self._pending_credits[start] = self._pending_credits.get(start, 0) + 1
             return
-        self._apply_credit_within(start, 1)
-
-    def _apply_credit_within(self, start: int, amount: int) -> None:
-        for t in range(start, self.window_end + 1):
-            self._free[t % self.horizon] += amount
-            if self._free[t % self.horizon] > self.downstream_buffers:
-                raise ReservationError(
-                    f"free-buffer count exceeded pool size at cycle {t}: "
-                    "credit protocol violated"
-                )
+        # The credit raises the whole suffix through the end slot, so an
+        # already-full end slot proves the pool-size overflow immediately.
+        if self._end_free >= self.downstream_buffers:
+            raise ReservationError(
+                f"free-buffer count exceeded pool size at cycle "
+                f"{self.window_end}: credit protocol violated"
+            )
+        self._dfree[start % self.horizon] += 1
+        self._end_free += 1
 
     def _check_in_window(self, cycle: int) -> None:
         if not self._window_start <= cycle <= self.window_end:

@@ -21,6 +21,23 @@ The router has two halves:
   arriving flits are written; a flit whose reserved departure equals its
   arrival cycle bypasses the buffers straight to the output.  The contents
   of data flits are never examined.
+
+Kernel architecture notes (see docs/performance.md):
+
+* Each phase method returns whether the router still has work for that
+  phase, and the network only steps routers whose activity flag is raised.
+  The router raises its *own* flag slot when it gains control work
+  (``accept_control_flit``) or departure work (``_commit_reservation``);
+  links raise the consumer's flag on ``send``.  A skipped phase is provably
+  a no-op that draws no randomness, so active-set stepping is digest-
+  identical to dense stepping.
+* The observability hooks are exposed as properties whose setters swap
+  bound-method dispatch slots (``accept_control_flit``, ``_accept_data``,
+  ``_commit_reservation``, ``_return_control_credit``) between a plain and
+  an observed variant, so a detached run pays no per-event hook branches.
+  The observed variants must stay in lockstep with their plain twins --
+  they differ only in the hook invocations, at the exact points the hooks
+  historically fired.
 """
 
 from __future__ import annotations
@@ -54,6 +71,10 @@ class FRRouter:
         "route_table",
         "ctrl_credits",
         "ctrl_vc_owned",
+        "_ctrl_credited",
+        "_credit_scan",
+        "_ctrl_in_scan",
+        "_data_in_scan",
         "_ctrl_link_slots",
         "_last_ctrl_slot",
         "input_sched",
@@ -69,11 +90,35 @@ class FRRouter:
         "connected_outputs",
         "ni_advance_credit",
         "ni_control_credit",
-        "on_data_arrival",
-        "on_control_arrival",
-        "on_reservation_grant",
+        "_num_vcs",
+        "_ctrl_budget",
+        "_ctrl_bufs_per_vc",
+        "_read_limit",
+        "_margin",
+        "_data_delay",
+        "_per_flit",
+        "_schedule_data_flits",
+        "accept_control_flit",
+        "_accept_data",
+        "_commit_reservation",
+        "_return_control_credit",
+        "_on_data_arrival",
+        "_on_control_arrival",
+        "_on_reservation_grant",
+        "_on_credit_return",
         "on_reservation_deny",
-        "on_credit_return",
+        "_ctrl_count",
+        "_ctrl_total",
+        "_ctrl_flags",
+        "_ctrl_wake",
+        "_dep_flags",
+        "_dep_wake",
+        "_vcs_scratch",
+        "_cand_scratch",
+        "_two_vcs",
+        "_vc_both",
+        "_vc_zero",
+        "_vc_one",
         "schedule_stalls",
         "forward_stalls",
         "splits_performed",
@@ -95,6 +140,22 @@ class FRRouter:
         self.eject_data = eject_data
         self.consume_control = consume_control
         v = config.control_vcs
+        # Hot-path copies of config scalars: the per-cycle loops read these
+        # thousands of times per simulated cycle, so they live directly on
+        # the router instead of behind the two-attribute config chain.
+        self._num_vcs = v
+        self._ctrl_budget = config.control_flits_per_cycle
+        self._ctrl_bufs_per_vc = config.control_buffers_per_vc
+        self._read_limit = config.input_read_ports
+        self._margin = config.plesiochronous_margin
+        self._data_delay = config.data_link_delay
+        self._per_flit = config.scheduling_policy == "per_flit"
+        # Scheduling-policy dispatch slot: chosen once here, so the hot
+        # control loop never re-compares the policy string per flit.
+        if self._per_flit:
+            self._schedule_data_flits = self._schedule_per_flit
+        else:
+            self._schedule_data_flits = self._schedule_all_or_nothing
         # Control input side.
         self.ctrl_queues: list[list[deque[ControlFlit]]] = [
             [deque() for _ in range(v)] for _ in range(NUM_PORTS)
@@ -108,6 +169,16 @@ class FRRouter:
         # Control output side (upstream view of the downstream control input).
         self.ctrl_credits = [[config.control_buffers_per_vc] * v for _ in range(NUM_PORTS)]
         self.ctrl_vc_owned = [[False] * v for _ in range(NUM_PORTS)]
+        # Credited occupancy of each control VC queue: the number of queued
+        # flits with ``credited`` set, mirrored so the accept path checks the
+        # buffer bound with one indexed read instead of walking the queue.
+        self._ctrl_credited = [[0] * v for _ in range(NUM_PORTS)]
+        # Per-cycle scan lists, filled by connect_output/connect_input: the
+        # control phase iterates these prebuilt tuples instead of re-indexing
+        # four parallel port arrays per connected port per cycle.
+        self._credit_scan: list[tuple] = []
+        self._ctrl_in_scan: list[tuple] = []
+        self._data_in_scan: list[tuple] = []
         # Control-link slot bookings (cycle -> flits committed to forward
         # then) and the last slot each control VC claimed, which keeps
         # per-VC forwarding FIFO.
@@ -127,8 +198,8 @@ class FRRouter:
             infinite_buffers=True,
         )
         # Links, wired by the network.
-        self.ctrl_out_links: list[Optional[Link[tuple[int, ControlFlit]]]] = [None] * NUM_PORTS
-        self.ctrl_in_links: list[Optional[Link[tuple[int, ControlFlit]]]] = [None] * NUM_PORTS
+        self.ctrl_out_links: list[Optional[Link[ControlFlit]]] = [None] * NUM_PORTS
+        self.ctrl_in_links: list[Optional[Link[ControlFlit]]] = [None] * NUM_PORTS
         self.ctrl_credit_out: list[Optional[Link[int]]] = [None] * NUM_PORTS
         self.ctrl_credit_in: list[Optional[Link[int]]] = [None] * NUM_PORTS
         self.data_out_links: list[Optional[Link[DataFlit]]] = [None] * NUM_PORTS
@@ -142,12 +213,37 @@ class FRRouter:
         # Observability hooks (stats/tracing only; routing never consults
         # them).  Grant: (control flit, data-flit index, out port, departure,
         # cycle); deny: (control flit, out port, cycle); credit return:
-        # ("control"|"advance", port, vc-or-free-from-cycle, cycle).
-        self.on_data_arrival: Optional[Callable[[DataFlit, int, int], None]] = None
-        self.on_control_arrival: Optional[Callable[[ControlFlit, int, int], None]] = None
-        self.on_reservation_grant: Optional[Callable[[ControlFlit, int, int, int, int], None]] = None
+        # ("control"|"advance", port, vc-or-free-from-cycle, cycle).  The
+        # public names are properties; setting one swaps the corresponding
+        # dispatch slot between the plain and observed method variants.
+        self._on_data_arrival: Optional[Callable[[DataFlit, int, int], None]] = None
+        self._on_control_arrival: Optional[Callable[[ControlFlit, int, int], None]] = None
+        self._on_reservation_grant: Optional[Callable[[ControlFlit, int, int, int, int], None]] = None
+        self._on_credit_return: Optional[Callable[[str, int, int, int], None]] = None
         self.on_reservation_deny: Optional[Callable[[ControlFlit, int, int], None]] = None
-        self.on_credit_return: Optional[Callable[[str, int, int, int], None]] = None
+        self.accept_control_flit = self._accept_control_plain
+        self._accept_data = self._accept_data_plain
+        self._commit_reservation = self._commit_reservation_plain
+        self._return_control_credit = self._return_credit_plain
+        # Activity tracking: queued control flits per port (and in total) gate
+        # the control-serve loop, and the flag slots below are rebound by the
+        # network to its shared per-phase worklist arrays (bind_activity).
+        self._ctrl_count = [0] * NUM_PORTS
+        self._ctrl_total = 0
+        self._ctrl_flags = bytearray(1)
+        self._ctrl_wake = 0
+        self._dep_flags = bytearray(1)
+        self._dep_wake = 0
+        # Reused scan buffers (never escape a single phase call).
+        self._vcs_scratch: list[int] = []
+        self._cand_scratch: list[int] = []
+        # Serve-order constants for the ubiquitous two-VC configuration:
+        # rng.shuffled copies its input, so sharing these is safe, and the
+        # shuffle sees the same [0, 1] the generic scratch build produces.
+        self._two_vcs = v == 2
+        self._vc_both = [0, 1]
+        self._vc_zero = [0]
+        self._vc_one = [1]
         # Diagnostics.
         self.schedule_stalls = 0
         self.forward_stalls = 0
@@ -159,7 +255,7 @@ class FRRouter:
         self,
         port: int,
         data_link: Link[DataFlit],
-        ctrl_link: Link[tuple[int, ControlFlit]],
+        ctrl_link: Link[ControlFlit],
         adv_credit_link: Link[int],
         ctrl_credit_link: Link[int],
     ) -> None:
@@ -174,12 +270,15 @@ class FRRouter:
             propagation_delay=self.config.data_link_delay,
         )
         self.connected_outputs.append(port)
+        self._credit_scan.append(
+            (ctrl_credit_link, self.ctrl_credits[port], adv_credit_link, self.out_tables[port])
+        )
 
     def connect_input(
         self,
         port: int,
         data_link: Link[DataFlit],
-        ctrl_link: Link[tuple[int, ControlFlit]],
+        ctrl_link: Link[ControlFlit],
         adv_credit_link: Link[int],
         ctrl_credit_link: Link[int],
     ) -> None:
@@ -188,56 +287,214 @@ class FRRouter:
         self.ctrl_in_links[port] = ctrl_link
         self.adv_credit_out[port] = adv_credit_link
         self.ctrl_credit_out[port] = ctrl_credit_link
+        # Sorted by port so same-cycle arrival processing (and therefore the
+        # observability event order) is independent of wiring order.
+        self._ctrl_in_scan.append((port, ctrl_link))
+        self._ctrl_in_scan.sort(key=lambda entry: entry[0])
+        self._data_in_scan.append((port, data_link))
+        self._data_in_scan.sort(key=lambda entry: entry[0])
+
+    def bind_activity(self, ctrl_flags: bytearray, dep_flags: bytearray, index: int) -> None:
+        """Point this router's wake slots at the network's worklist arrays."""
+        self._ctrl_flags = ctrl_flags
+        self._ctrl_wake = index
+        self._dep_flags = dep_flags
+        self._dep_wake = index
+
+    # -- observability hook properties (dispatch swapping) ----------------------
+
+    @property
+    def on_data_arrival(self) -> Optional[Callable[[DataFlit, int, int], None]]:
+        return self._on_data_arrival
+
+    @on_data_arrival.setter
+    def on_data_arrival(self, hook: Optional[Callable[[DataFlit, int, int], None]]) -> None:
+        self._on_data_arrival = hook
+        self._accept_data = (
+            self._accept_data_plain if hook is None else self._accept_data_observed
+        )
+
+    @property
+    def on_control_arrival(self) -> Optional[Callable[[ControlFlit, int, int], None]]:
+        return self._on_control_arrival
+
+    @on_control_arrival.setter
+    def on_control_arrival(
+        self, hook: Optional[Callable[[ControlFlit, int, int], None]]
+    ) -> None:
+        self._on_control_arrival = hook
+        self.accept_control_flit = (
+            self._accept_control_plain if hook is None else self._accept_control_observed
+        )
+
+    @property
+    def on_reservation_grant(
+        self,
+    ) -> Optional[Callable[[ControlFlit, int, int, int, int], None]]:
+        return self._on_reservation_grant
+
+    @on_reservation_grant.setter
+    def on_reservation_grant(
+        self, hook: Optional[Callable[[ControlFlit, int, int, int, int], None]]
+    ) -> None:
+        self._on_reservation_grant = hook
+        self._refresh_commit_dispatch()
+
+    @property
+    def on_credit_return(self) -> Optional[Callable[[str, int, int, int], None]]:
+        return self._on_credit_return
+
+    @on_credit_return.setter
+    def on_credit_return(self, hook: Optional[Callable[[str, int, int, int], None]]) -> None:
+        self._on_credit_return = hook
+        self._return_control_credit = (
+            self._return_credit_plain if hook is None else self._return_credit_observed
+        )
+        self._refresh_commit_dispatch()
+
+    def _refresh_commit_dispatch(self) -> None:
+        observed = (
+            self._on_reservation_grant is not None or self._on_credit_return is not None
+        )
+        self._commit_reservation = (
+            self._commit_reservation_observed if observed else self._commit_reservation_plain
+        )
+        if self._per_flit:
+            self._schedule_data_flits = (
+                self._schedule_per_flit_observed if observed else self._schedule_per_flit
+            )
 
     # -- control plane ----------------------------------------------------------
 
-    def control_phase(self, now: int) -> None:
-        """One cycle of the control plane: credits, arrivals, forward, process."""
-        for port in self.connected_outputs:
-            for vc in self.ctrl_credit_in[port].receive(now):
-                self.ctrl_credits[port][vc] += 1
-            table = self.out_tables[port]
-            for from_cycle in self.adv_credit_in[port].receive(now):
-                table.apply_credit(now, from_cycle)
-        for port in range(4):
-            link = self.ctrl_in_links[port]
-            if link is None:
-                continue
-            for vc, flit in link.receive(now):
-                self.accept_control_flit(port, vc, flit, now)
-        for port in range(NUM_PORTS):
-            self._serve_control_input(port, now)
+    def control_phase(self, now: int) -> bool:
+        """One cycle of the control plane: credits, arrivals, forward, process.
 
-    def accept_control_flit(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
+        Returns whether the router still has control work (queued flits or
+        in-flight control/credit deliveries) and must be stepped next cycle.
+        The activity predicate is fused into the receive passes: this
+        router's own serve step never touches its in-links (it sends only on
+        out-links), so a post-receive ``pending`` reading equals a post-serve
+        one, and later-stepped neighbors raise the wake flag on send anyway.
+        """
+        active = False
+        for credit_link, port_credits, adv_link, table in self._credit_scan:
+            if credit_link.pending:
+                if now >= credit_link.next_arrival:
+                    for vc in credit_link.receive(now):
+                        port_credits[vc] += 1
+                    if credit_link.pending:
+                        active = True
+                else:
+                    active = True
+            if adv_link.pending:
+                if now >= adv_link.next_arrival:
+                    for from_cycle in adv_link.receive(now):
+                        table.apply_credit(now, from_cycle)
+                    if adv_link.pending:
+                        active = True
+                else:
+                    active = True
+        for port, link in self._ctrl_in_scan:
+            if link.pending:
+                if now >= link.next_arrival:
+                    for flit in link.receive(now):
+                        self.accept_control_flit(port, flit.vcid, flit, now)
+                    if link.pending:
+                        active = True
+                else:
+                    active = True
+        if self._ctrl_total:
+            counts = self._ctrl_count
+            for port in range(NUM_PORTS):
+                if counts[port]:
+                    self._serve_control_input(port, now)
+        return active or self._ctrl_total > 0
+
+    def _accept_control_plain(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
         """Insert an arriving control flit into its control VC queue."""
-        queue = self.ctrl_queues[port][vc]
         # Uncredited split flits in staging slots do not count against the
-        # credited buffer capacity.
-        credited_occupancy = 0
-        for queued in queue:
-            if queued.credited:
-                credited_occupancy += 1
-        if credited_occupancy >= self.config.control_buffers_per_vc:
+        # credited buffer capacity; the mirror counter tracks credited
+        # occupancy so no queue walk is needed here.
+        credited = self._ctrl_credited[port]
+        if credited[vc] >= self._ctrl_bufs_per_vc:
             raise RuntimeError(
                 f"control buffer overflow at node {self.node} port {port} vc {vc}: "
                 "control credit protocol violated"
             )
+        credited[vc] += 1
         flit.credited = True
-        queue.append(flit)
-        if self.on_control_arrival is not None:
-            self.on_control_arrival(flit, self.node, now)
+        self.ctrl_queues[port][vc].append(flit)
+        self._ctrl_count[port] += 1
+        self._ctrl_total += 1
+        self._ctrl_flags[self._ctrl_wake] = 1
+
+    def _accept_control_observed(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
+        self._accept_control_plain(port, vc, flit, now)
+        self._on_control_arrival(flit, self.node, now)
 
     def _serve_control_input(self, port: int, now: int) -> None:
         queues = self.ctrl_queues[port]
-        vcs = [vc for vc in range(self.config.control_vcs) if queues[vc]]
-        if not vcs:
-            return
-        if len(vcs) > 1:
-            vcs = self.rng.shuffled(vcs)
+        if self._two_vcs:
+            if queues[0]:
+                vcs = self.rng.shuffled(self._vc_both) if queues[1] else self._vc_zero
+            elif queues[1]:
+                vcs = self._vc_one
+            else:
+                return
+        else:
+            scratch = self._vcs_scratch
+            scratch.clear()
+            for vc in range(self._num_vcs):
+                if queues[vc]:
+                    scratch.append(vc)
+            if not scratch:
+                return
+            # rng.shuffled returns a fresh list, so the scratch buffer is
+            # safe to reuse next call either way.
+            vcs = scratch if len(scratch) == 1 else self.rng.shuffled(scratch)
         # Forward pass: queue-front flits whose reserved link slot has come
-        # move on, freeing their control buffers.
+        # move on, freeing their control buffers (the send body lives inline
+        # here -- this is the single hottest loop in the simulator).
+        route_port = self.route_table[port]
         for vc in vcs:
-            self._drain_front(port, vc, now)
+            queue = queues[vc]
+            while queue:
+                flit = queue[0]
+                if flit.unscheduled:
+                    break
+                entry = route_port[vc]
+                out_port = entry[0]
+                if out_port == EJECT:
+                    self._consume(port, vc, flit, now)
+                    continue  # consumption frees the front; try the next flit
+                forward_at = flit.forward_at
+                if now >= forward_at:
+                    if now > forward_at:
+                        raise RuntimeError(
+                            f"control flit {flit!r} forwarding at cycle {now} "
+                            f"but its reserved link slot was {forward_at}: "
+                            "FIFO slot discipline violated"
+                        )
+                    out_vc = entry[1]
+                    queue.popleft()
+                    self._ctrl_count[port] -= 1
+                    self._ctrl_total -= 1
+                    flit.vcid = out_vc
+                    flit.reset_schedule_flags()
+                    # The flit itself is the link payload; the receiver reads
+                    # the downstream control VC from ``flit.vcid``.
+                    self.ctrl_out_links[out_port].send(flit, now)
+                    slots = self._ctrl_link_slots[out_port]
+                    slots[now] -= 1
+                    if not slots[now]:
+                        del slots[now]
+                    if flit.is_last:
+                        self.ctrl_vc_owned[out_port][out_vc] = False
+                        route_port[vc] = None
+                    if flit.credited:
+                        self._ctrl_credited[port][vc] -= 1
+                        self._return_control_credit(port, vc, now)
+                break  # at most one link forward per VC per cycle
         # Processing pass: route + schedule up to control_flits_per_cycle
         # flits.  Two rules keep the control/data dependency graph acyclic
         # (the cross-dependency hazard the paper's Section 5 points out):
@@ -253,39 +510,25 @@ class FRRouter:
         #    control flit therefore can never stall behind its own data
         #    flits, so every dependency points forward along XY routes and
         #    terminates at an ejection port.
-        budget = self.config.control_flits_per_cycle
+        budget = self._ctrl_budget
         for vc in vcs:
             if budget <= 0:
                 break
             budget = self._schedule_queue(port, vc, now, budget)
 
-    def _drain_front(self, port: int, vc: int, now: int) -> None:
-        """Forward or consume the queue-front flit if its schedule is done."""
-        queue = self.ctrl_queues[port][vc]
-        while queue:
-            flit = queue[0]
-            if not flit.fully_scheduled():
-                return
-            out_port = self.route_table[port][vc][0]
-            if out_port == EJECT:
-                self._consume(port, vc, flit, now)
-                continue  # consumption frees the front; try the next flit
-            if now >= flit.forward_at:
-                self._forward_front(port, vc, flit, now)
-            return  # at most one link forward per VC per cycle
-
     def _schedule_queue(self, port: int, vc: int, now: int, budget: int) -> int:
         """Schedule flits in queue order until the budget or a blocker."""
         queue = self.ctrl_queues[port][vc]
+        route_row = self.route_table[port]
         index = 0
         while index < len(queue):
             if budget <= 0:
                 return 0
             flit = queue[index]
-            if flit.fully_scheduled():
+            if not flit.unscheduled:
                 index += 1
                 continue
-            entry = self.route_table[port][vc]
+            entry = route_row[vc]
             if flit.is_head and entry is not None and entry[2] != flit.packet.packet_id:
                 # The previous packet still owns this control VC's routing
                 # entry; the new packet waits for it to finish forwarding.
@@ -293,7 +536,7 @@ class FRRouter:
             budget -= 1
             outcome = self._process_flit(port, vc, flit, now)
             if outcome == "done":
-                if self.route_table[port][vc][0] == EJECT and index == 0:
+                if route_row[vc][0] == EJECT and index == 0:
                     self._consume(port, vc, flit, now)
                     continue  # the queue shrank; re-examine the new front
                 index += 1
@@ -347,12 +590,13 @@ class FRRouter:
         # Secure the onward journey before committing any reservation.
         out_vc = entry[1]
         if out_vc == -1:
-            candidates = [
-                v
-                for v in range(self.config.control_vcs)
-                if not self.ctrl_vc_owned[out_port][v]
-                and self.ctrl_credits[out_port][v] > 0
-            ]
+            owned = self.ctrl_vc_owned[out_port]
+            out_credits = self.ctrl_credits[out_port]
+            candidates = self._cand_scratch
+            candidates.clear()
+            for v in range(self._num_vcs):
+                if not owned[v] and out_credits[v] > 0:
+                    candidates.append(v)
             if not candidates:
                 self.forward_stalls += 1
                 return "stall"
@@ -364,7 +608,7 @@ class FRRouter:
             self.schedule_stalls += 1
             if self.on_reservation_deny is not None:
                 self.on_reservation_deny(flit, out_port, now)
-            if self.config.scheduling_policy == "per_flit" and any(flit.scheduled):
+            if self._per_flit and any(flit.scheduled):
                 return self._split_and_forward(port, vc, flit, entry, out_vc, now)
             return "stall"
         # Commit the forward resources claimed above.
@@ -395,15 +639,10 @@ class FRRouter:
         split.credited = False  # staging slot; the residual holds the credit
         queue = self.ctrl_queues[port][vc]
         queue.insert(queue.index(flit), split)
+        self._ctrl_count[port] += 1
+        self._ctrl_total += 1
         self.splits_performed += 1
         return "split"
-
-    def _schedule_data_flits(
-        self, port: int, flit: ControlFlit, out_port: int, now: int
-    ) -> bool:
-        if self.config.scheduling_policy == "per_flit":
-            return self._schedule_per_flit(port, flit, out_port, now)
-        return self._schedule_all_or_nothing(port, flit, out_port, now)
 
     def _reserve_link_slot(self, port: int, vc: int, out_port: int, now: int) -> int:
         """Claim the earliest control-link slot this flit may forward in.
@@ -423,15 +662,86 @@ class FRRouter:
     def _schedule_per_flit(
         self, port: int, flit: ControlFlit, out_port: int, now: int
     ) -> bool:
+        # The fused reserve_earliest commits the earliest slot that clears
+        # both the output table and this input's read-port constraint --
+        # exactly the retry loop _find_departure runs, without re-scans.
+        # The commit body (_commit_reservation_plain) is inlined here; with
+        # any grant/credit hook attached the dispatch slot points at
+        # _schedule_per_flit_observed instead, which routes each commit
+        # through the observed variant.
+        arrival_times = flit.arrival_times
+        sched = self.input_sched[port]
         table = self.out_tables[out_port]
-        for i in range(len(flit.data_flits)):
-            if flit.scheduled[i]:
-                continue
-            arrival = flit.arrival_times[i]
-            departure = self._find_departure(port, table, now, max(arrival, now + 1))
+        if len(arrival_times) == 1:
+            # d = 1 (the paper's configuration): exactly one data flit, and
+            # it is unscheduled (callers only process flits with unscheduled
+            # work), so the general loop collapses to a straight line.
+            arrival = arrival_times[0]
+            earliest = arrival if arrival > now else now + 1
+            departure = table.reserve_earliest(
+                now, earliest, sched.port_uses, self._read_limit
+            )
             if departure is None:
                 return False
-            table.reserve(now, departure)
+            sched.on_reservation(now, arrival, departure, out_port)
+            self._dep_flags[self._dep_wake] = 1
+            credit_from = departure + self._margin
+            if port == INJECT:
+                self.ni_advance_credit(now, credit_from)
+            else:
+                self.adv_credit_out[port].send(credit_from, now)
+            flit.scheduled[0] = True
+            flit.unscheduled -= 1
+            arrival_times[0] = (
+                departure if out_port == EJECT else departure + self._data_delay
+            )
+            return True
+        port_uses = sched.port_uses
+        limit = self._read_limit
+        scheduled = flit.scheduled
+        margin = self._margin
+        delay = 0 if out_port == EJECT else self._data_delay
+        adv_out = None if port == INJECT else self.adv_credit_out[port]
+        for i in range(len(arrival_times)):
+            if scheduled[i]:
+                continue
+            arrival = arrival_times[i]
+            earliest = arrival if arrival > now else now + 1
+            departure = table.reserve_earliest(now, earliest, port_uses, limit)
+            if departure is None:
+                return False
+            sched.on_reservation(now, arrival, departure, out_port)
+            self._dep_flags[self._dep_wake] = 1
+            # The buffer frees at the departure; plesiochronous links hold
+            # it a margin longer in case the transmit clock slips (Sec. 5).
+            credit_from = departure + margin
+            if adv_out is None:
+                self.ni_advance_credit(now, credit_from)
+            else:
+                adv_out.send(credit_from, now)
+            scheduled[i] = True
+            flit.unscheduled -= 1
+            arrival_times[i] = departure + delay
+        return True
+
+    def _schedule_per_flit_observed(
+        self, port: int, flit: ControlFlit, out_port: int, now: int
+    ) -> bool:
+        # Lockstep twin of _schedule_per_flit that commits through the
+        # _commit_reservation dispatch slot so the hooks fire.
+        table = self.out_tables[out_port]
+        port_uses = self.input_sched[port].port_uses
+        limit = self._read_limit
+        arrival_times = flit.arrival_times
+        scheduled = flit.scheduled
+        for i in range(len(flit.data_flits)):
+            if scheduled[i]:
+                continue
+            arrival = arrival_times[i]
+            earliest = arrival if arrival > now else now + 1
+            departure = table.reserve_earliest(now, earliest, port_uses, limit)
+            if departure is None:
+                return False
             self._commit_reservation(port, flit, i, departure, out_port, now)
         return True
 
@@ -442,7 +752,7 @@ class FRRouter:
         input's buffer read ports (paper footnote 7: one "Buffer Out" row
         unless the input buffer is multi-ported)."""
         scheduler = self.input_sched[port]
-        limit = self.config.input_read_ports
+        limit = self._read_limit
         while True:
             departure = table.find_departure(now, earliest)
             if departure is None or scheduler.departures_at(departure) < limit:
@@ -467,102 +777,139 @@ class FRRouter:
             self._commit_reservation(port, flit, i, departure, out_port, now)
         return True
 
-    def _commit_reservation(
+    def _commit_reservation_plain(
         self, port: int, flit: ControlFlit, i: int, departure: int, out_port: int, now: int
     ) -> None:
         arrival = flit.arrival_times[i]
         self.input_sched[port].on_reservation(now, arrival, departure, out_port)
+        self._dep_flags[self._dep_wake] = 1
         # The buffer frees at the departure; plesiochronous links hold it a
         # margin longer in case the transmit clock slips (Section 5).
-        credit_from = departure + self.config.plesiochronous_margin
+        credit_from = departure + self._margin
         if port == INJECT:
             self.ni_advance_credit(now, credit_from)
         else:
             self.adv_credit_out[port].send(credit_from, now)
-        if self.on_reservation_grant is not None:
-            self.on_reservation_grant(flit, i, out_port, departure, now)
-        if self.on_credit_return is not None:
-            self.on_credit_return("advance", port, credit_from, now)
         flit.scheduled[i] = True
+        flit.unscheduled -= 1
         if out_port == EJECT:
             flit.arrival_times[i] = departure
         else:
-            flit.arrival_times[i] = departure + self.config.data_link_delay
+            flit.arrival_times[i] = departure + self._data_delay
 
-    def _forward_front(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
-        """Send the committed front flit at its reserved link slot."""
-        entry = self.route_table[port][vc]
-        out_port, out_vc = entry[0], entry[1]
-        if now != flit.forward_at:
-            raise RuntimeError(
-                f"control flit {flit!r} forwarding at cycle {now} but its "
-                f"reserved link slot was {flit.forward_at}: FIFO slot "
-                "discipline violated"
-            )
-        self.ctrl_queues[port][vc].popleft()
-        flit.vcid = out_vc
-        flit.reset_schedule_flags()
-        self.ctrl_out_links[out_port].send((out_vc, flit), now)
-        slots = self._ctrl_link_slots[out_port]
-        slots[now] -= 1
-        if not slots[now]:
-            del slots[now]
-        if flit.is_last:
-            self.ctrl_vc_owned[out_port][out_vc] = False
-            self.route_table[port][vc] = None
-        if flit.credited:
-            self._return_control_credit(port, vc, now)
+    def _commit_reservation_observed(
+        self, port: int, flit: ControlFlit, i: int, departure: int, out_port: int, now: int
+    ) -> None:
+        # Lockstep twin of _commit_reservation_plain; the hooks fire at the
+        # exact points they always did (before the schedule-flag/arrival-time
+        # rewrite, which observers may read through the flit).
+        arrival = flit.arrival_times[i]
+        self.input_sched[port].on_reservation(now, arrival, departure, out_port)
+        self._dep_flags[self._dep_wake] = 1
+        credit_from = departure + self._margin
+        if port == INJECT:
+            self.ni_advance_credit(now, credit_from)
+        else:
+            self.adv_credit_out[port].send(credit_from, now)
+        if self._on_reservation_grant is not None:
+            self._on_reservation_grant(flit, i, out_port, departure, now)
+        if self._on_credit_return is not None:
+            self._on_credit_return("advance", port, credit_from, now)
+        flit.scheduled[i] = True
+        flit.unscheduled -= 1
+        if out_port == EJECT:
+            flit.arrival_times[i] = departure
+        else:
+            flit.arrival_times[i] = departure + self._data_delay
 
     def _consume(self, port: int, vc: int, flit: ControlFlit, now: int) -> None:
         """Deliver a control flit to the local reassembly machinery."""
         self.ctrl_queues[port][vc].popleft()
+        self._ctrl_count[port] -= 1
+        self._ctrl_total -= 1
         if flit.is_last:
             self.route_table[port][vc] = None
         if flit.credited:
+            self._ctrl_credited[port][vc] -= 1
             self._return_control_credit(port, vc, now)
         self.consume_control(flit, now)
 
-    def _return_control_credit(self, port: int, vc: int, now: int) -> None:
+    def _return_credit_plain(self, port: int, vc: int, now: int) -> None:
         if port == INJECT:
             self.ni_control_credit(vc)
         else:
             self.ctrl_credit_out[port].send(vc, now)
-        if self.on_credit_return is not None:
-            self.on_credit_return("control", port, vc, now)
+
+    def _return_credit_observed(self, port: int, vc: int, now: int) -> None:
+        self._return_credit_plain(port, vc, now)
+        self._on_credit_return("control", port, vc, now)
 
     # -- data plane ---------------------------------------------------------------
 
-    def data_departures(self, now: int) -> None:
-        """Drive scheduled buffer reads onto output links (or eject)."""
-        for port in range(NUM_PORTS):
-            for flit, out_port in self.input_sched[port].take_departures(now):
-                self._send_data(flit, out_port, now)
+    def data_departures(self, now: int) -> bool:
+        """Drive scheduled buffer reads onto output links (or eject).
 
-    def data_arrivals(self, now: int) -> None:
-        """Write arriving flits to their allocated buffers or bypass them."""
-        for port in range(4):
-            link = self.data_in_links[port]
-            if link is None:
-                continue
-            for flit in link.receive(now):
-                self._accept_data(port, flit, now)
+        Returns whether departures remain scheduled for future cycles.
+        """
+        active = False
+        schedulers = self.input_sched
+        eject = self.eject_data
+        data_out = self.data_out_links
+        for port in range(NUM_PORTS):
+            scheduler = schedulers[port]
+            # Every scheduled departure has a port_uses entry until the
+            # cycle it departs, so an empty dict proves take_departures
+            # would be a no-op for this input -- and so would any cycle
+            # before the earliest outstanding departure (both pops keyed
+            # by cycles that are all still in the future).
+            port_uses = scheduler.port_uses
+            if port_uses:
+                if now >= scheduler.next_departure:
+                    departures = scheduler.take_departures(now)
+                    if departures:
+                        for flit, out_port in departures:
+                            if out_port == EJECT:
+                                eject(flit, now)
+                            else:
+                                data_out[out_port].send(flit, now)
+                    if port_uses:
+                        active = True
+                else:
+                    active = True
+        return active
+
+    def data_arrivals(self, now: int) -> bool:
+        """Write arriving flits to their allocated buffers or bypass them.
+
+        Returns whether data flits are still in flight toward this router.
+        """
+        active = False
+        for port, link in self._data_in_scan:
+            if link.pending:
+                if now >= link.next_arrival:
+                    for flit in link.receive(now):
+                        self._accept_data(port, flit, now)
+                    if link.pending:
+                        active = True
+                else:
+                    active = True
+        return active
 
     def inject_data(self, flit: DataFlit, now: int) -> None:
         """The NI delivers a data flit to the local input at its reserved cycle."""
         self._accept_data(INJECT, flit, now)
 
-    def _accept_data(self, port: int, flit: DataFlit, now: int) -> None:
-        if self.on_data_arrival is not None:
-            self.on_data_arrival(flit, self.node, now)
+    def _accept_data_plain(self, port: int, flit: DataFlit, now: int) -> None:
         bypass_port = self.input_sched[port].on_arrival(now, flit)
         if bypass_port is not None:
-            self._send_data(flit, bypass_port, now)
+            if bypass_port == EJECT:
+                self.eject_data(flit, now)
+            else:
+                self.data_out_links[bypass_port].send(flit, now)
 
-    def _send_data(self, flit: DataFlit, out_port: int, now: int) -> None:
-        if out_port == EJECT:
-            self.eject_data(flit, now)
-        else:
-            self.data_out_links[out_port].send(flit, now)
+    def _accept_data_observed(self, port: int, flit: DataFlit, now: int) -> None:
+        self._on_data_arrival(flit, self.node, now)
+        self._accept_data_plain(port, flit, now)
 
     # -- introspection ---------------------------------------------------------------
 

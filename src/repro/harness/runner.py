@@ -196,6 +196,25 @@ def main(argv: list[str] | None = None) -> int:
     util.add_argument("load", type=float)
     util.add_argument("--cycles", type=int, default=2000)
 
+    bench = sub.add_parser(
+        "bench",
+        help="record or check the committed simulator-speed baselines "
+        "(wraps tools/bench_gate.py; see docs/performance.md)",
+    )
+    bench.add_argument("action", choices=["record", "check"])
+    bench.add_argument(
+        "--min-ratio",
+        type=float,
+        default=None,
+        help="for `check`: fail when fresh/baseline cycles/sec falls below this",
+    )
+    bench.add_argument(
+        "--models",
+        action="store_true",
+        help="for `check`: also gate the per-model quick points "
+        "(VC8, WH8, FR6 on 16x16)",
+    )
+
     args = parser.parse_args(argv)
     if args.analyze:
         _run_analysis_gates()
@@ -315,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_trace(args))
     elif args.command == "utilization":
         print(_utilization(args))
+    elif args.command == "bench":
+        return _bench(args)
     return 0
 
 
@@ -469,6 +490,41 @@ def _write_attribution(
         context={"seed": args.seed, "preset": args.preset},
     )
     print(f"  attribution: {args.attribution_out}")
+
+
+def _load_bench_gate():
+    """Load tools/bench_gate.py by file path (it is not part of the package).
+
+    The tool lives outside ``src`` because it owns the committed baseline
+    paths; that makes it reachable only from a source checkout.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    tool = Path(__file__).resolve().parents[3] / "tools" / "bench_gate.py"
+    if not tool.exists():
+        raise SystemExit(
+            "frfc bench wraps tools/bench_gate.py, which was not found next "
+            "to this package -- run it from a source checkout"
+        )
+    spec = importlib.util.spec_from_file_location("bench_gate_cli", tool)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """Run `frfc bench`: the trajectory gate (tools/bench_gate.py) by another door."""
+    if args.action != "check" and (args.models or args.min_ratio is not None):
+        raise SystemExit("--min-ratio/--models apply to `frfc bench check` only")
+    argv = [args.action]
+    if args.action == "check":
+        if args.min_ratio is not None:
+            argv += ["--min-ratio", str(args.min_ratio)]
+        if args.models:
+            argv.append("--models")
+    return _load_bench_gate().main(argv)
 
 
 def _run_analysis_gates() -> None:

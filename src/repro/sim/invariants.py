@@ -176,8 +176,9 @@ class InvariantChecker:
         table.advance(now)
         if table.infinite_buffers:
             return
-        for cycle in range(table._window_start, table.window_end + 1):
-            count = table._free[cycle % table.horizon]
+        values = table.free_values()
+        for offset, count in enumerate(values):
+            cycle = table._window_start + offset
             if not 0 <= count <= table.downstream_buffers:
                 raise InvariantViolation(
                     f"reservation table at {self._where(node, port, now)} has "
@@ -185,6 +186,22 @@ class InvariantChecker:
                     f"[0, {table.downstream_buffers}]",
                     node=node, port=port, cycle=now,
                 )
+        # The table's incremental scalars must agree with the reconstructed
+        # profile: _end_free exactly, _min_free as a valid lower bound.
+        if table._end_free != values[-1]:
+            raise InvariantViolation(
+                f"reservation table at {self._where(node, port, now)} tracks "
+                f"end-slot free count {table._end_free} but the difference "
+                f"array reconstructs {values[-1]}",
+                node=node, port=port, cycle=now,
+            )
+        if table._min_free > min(values):
+            raise InvariantViolation(
+                f"reservation table at {self._where(node, port, now)} claims "
+                f"window minimum >= {table._min_free} but the difference "
+                f"array reconstructs {min(values)}",
+                node=node, port=port, cycle=now,
+            )
         for parked in table._pending_credits:
             if parked <= table.window_end:
                 raise InvariantViolation(
@@ -197,7 +214,7 @@ class InvariantChecker:
         # reservation has been charged and every received credit applied (or
         # parked), so the end-slot deficit must equal the uncredited
         # reservations plus the parked credits -- exactly.
-        end_free = table._free[table.window_end % table.horizon]
+        end_free = table._end_free
         deficit = table.downstream_buffers - end_free
         uncredited = table.reservations_made - table.credits_applied
         parked_credits = sum(table._pending_credits.values())

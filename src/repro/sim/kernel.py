@@ -98,17 +98,26 @@ class Simulator:
             self.profiler.end(self.cycle - start)
 
     def _run(self, cycles: int) -> None:
+        # Bound everything the loop reads to locals; only ``self.cycle`` is
+        # live state (written back each iteration so an exception anywhere
+        # leaves it on the cycle that failed, exactly as before).
+        network = self.network
+        step = network.step
+        checker = self.checker
+        observers = self.observers
+        max_cycles = self.max_cycles
         for _ in range(cycles):
-            self.network.step(self.cycle)
-            if self.checker is not None:
-                self.checker.check(self.network, self.cycle)
-            for observer in self.observers:
-                observer.check(self.network, self.cycle)
-            self.cycle += 1
-            if self.cycle > self.max_cycles:
+            cycle = self.cycle
+            step(cycle)
+            if checker is not None:
+                checker.check(network, cycle)
+            for observer in observers:
+                observer.check(network, cycle)
+            self.cycle = cycle + 1
+            if cycle + 1 > max_cycles:
                 raise SimulationError(
                     f"simulation exceeded the hard ceiling of "
-                    f"{self.max_cycles} cycles"
+                    f"{max_cycles} cycles"
                 )
 
     def run_until(

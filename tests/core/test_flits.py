@@ -55,11 +55,14 @@ class TestControlFlitState:
     def test_schedule_flags_reset(self):
         control, _ = packet_to_control_flits(make_packet(1), 1)
         flit = control[0]
+        # Writers of ``scheduled`` keep the mirror counter in sync.
         flit.scheduled[0] = True
+        flit.unscheduled -= 1
         flit.arrival_times[0] = 42
         assert flit.fully_scheduled()
         flit.reset_schedule_flags()
         assert not flit.fully_scheduled()
+        assert flit.unscheduled == 1
         assert flit.arrival_times == [42], "arrival times must survive the reset"
 
     def test_destination_comes_from_packet(self):

@@ -39,3 +39,40 @@ class TestUtilizationCommand:
         out = capsys.readouterr().out
         assert "data channel utilization" in out
         assert "hottest channels" in out
+
+
+class TestBenchCommand:
+    """`frfc bench` delegates to tools/bench_gate.py; stub the loader so
+    the tests exercise the wrapper, not the multi-second workloads."""
+
+    def _stub_gate(self, monkeypatch):
+        calls = []
+
+        class FakeGate:
+            @staticmethod
+            def main(argv):
+                calls.append(list(argv))
+                return 0
+
+        monkeypatch.setattr(runner, "_load_bench_gate", lambda: FakeGate)
+        return calls
+
+    def test_bench_record_forwards(self, monkeypatch):
+        calls = self._stub_gate(monkeypatch)
+        assert runner.main(["bench", "record"]) == 0
+        assert calls == [["record"]]
+
+    def test_bench_check_forwards_flags(self, monkeypatch):
+        calls = self._stub_gate(monkeypatch)
+        assert runner.main(["bench", "check", "--min-ratio", "0.5", "--models"]) == 0
+        assert calls == [["check", "--min-ratio", "0.5", "--models"]]
+
+    def test_bench_rejects_check_flags_on_record(self, monkeypatch):
+        self._stub_gate(monkeypatch)
+        with pytest.raises(SystemExit):
+            runner.main(["bench", "record", "--models"])
+
+    def test_loader_finds_the_real_tool(self):
+        module = runner._load_bench_gate()
+        assert callable(module.main)
+        assert module.WORKLOAD["config"] == "FR6"

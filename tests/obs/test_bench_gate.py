@@ -1,9 +1,9 @@
 """The benchmark-trajectory gate: record/check semantics.
 
-The real workload takes seconds, so these tests stub ``run_benchmark``
+The real workloads take seconds, so these tests stub ``run_benchmark``
 with synthetic profiler reports and exercise the gate logic: baseline
-writing, trajectory appending, ratio math, and the loud failure modes
-(regression, schema drift, workload drift).
+writing, per-model baseline writing, trajectory appending, ratio math,
+and the loud failure modes (regression, schema drift, workload drift).
 """
 
 from __future__ import annotations
@@ -28,7 +28,7 @@ def gate():
     return module
 
 
-def _report(cps: float, cycles: int = 1844) -> dict:
+def _report(cps: float, cycles: int = 1844, workload: dict | None = None) -> dict:
     wall = cycles / cps
     return {
         "schema": "frfc-obs-bench/1",
@@ -41,17 +41,21 @@ def _report(cps: float, cycles: int = 1844) -> dict:
             "sample": {"cycles": cycles // 2, "wall_seconds": wall / 2,
                        "cycles_per_second": cps},
         },
-        "workload": {"config": "FR6", "offered_load": 0.5, "preset": "quick",
-                     "seed": 1},
+        "workload": dict(workload) if workload is not None else {
+            "config": "FR6", "offered_load": 0.5, "preset": "quick", "seed": 1,
+        },
         "packets_measured": 3777,
     }
 
 
 def _paths(gate, tmp_path, monkeypatch, cps: float):
-    monkeypatch.setattr(gate, "run_benchmark", lambda: _report(cps))
+    monkeypatch.setattr(
+        gate, "run_benchmark", lambda workload=None: _report(cps, workload=workload)
+    )
     monkeypatch.setattr(gate, "git_sha", lambda: "f" * 40)
     return [
         "--baseline", str(tmp_path / "BENCH_5.json"),
+        "--models-baseline", str(tmp_path / "BENCH_models.json"),
         "--trajectory", str(tmp_path / "BENCH_trajectory.jsonl"),
     ]
 
@@ -65,10 +69,26 @@ def test_record_writes_baseline_and_appends_trajectory(gate, tmp_path, monkeypat
     assert baseline["bench"]["cycles_per_second"] == 250.0
     assert baseline["git_sha"] == "f" * 40
     lines = (tmp_path / "BENCH_trajectory.jsonl").read_text().splitlines()
-    assert len(lines) == 2  # record appends, never rewrites
-    entry = json.loads(lines[-1])
+    # One primary point plus one per model, per record; appends, never rewrites.
+    per_record = 1 + len(gate.MODEL_WORKLOADS)
+    assert len(lines) == 2 * per_record
+    entry = json.loads(lines[-per_record])
     assert entry["cycles_per_second"] == 250.0
     assert "phase_cycles_per_second" in entry
+    assert "model" not in entry  # the primary point carries no model tag
+    tagged = [json.loads(line) for line in lines if "model" in json.loads(line)]
+    assert {e["model"] for e in tagged} == set(gate.MODEL_WORKLOADS)
+
+
+def test_record_writes_models_baseline(gate, tmp_path, monkeypatch, capsys):
+    flags = _paths(gate, tmp_path, monkeypatch, cps=250.0)
+    assert gate.main(flags + ["record"]) == 0
+    models = json.loads((tmp_path / "BENCH_models.json").read_text())
+    assert models["schema"] == gate.MODELS_SCHEMA
+    assert set(models["models"]) == set(gate.MODEL_WORKLOADS)
+    for name, entry in models["models"].items():
+        assert entry["workload"] == gate.MODEL_WORKLOADS[name]
+        assert entry["bench"]["cycles_per_second"] == 250.0
 
 
 def test_check_passes_within_tolerance(gate, tmp_path, monkeypatch, capsys):
@@ -76,6 +96,26 @@ def test_check_passes_within_tolerance(gate, tmp_path, monkeypatch, capsys):
     flags = _paths(gate, tmp_path, monkeypatch, 200.0)  # 0.8 ratio
     assert gate.main(flags + ["check"]) == 0
     assert "OK" in capsys.readouterr().out
+
+
+def test_check_models_gates_every_model(gate, tmp_path, monkeypatch, capsys):
+    assert gate.main(_paths(gate, tmp_path, monkeypatch, 250.0) + ["record"]) == 0
+    flags = _paths(gate, tmp_path, monkeypatch, 200.0)  # 0.8 ratio everywhere
+    assert gate.main(flags + ["check", "--models"]) == 0
+    out = capsys.readouterr().out
+    for model in gate.MODEL_WORKLOADS:
+        assert model in out
+    flags = _paths(gate, tmp_path, monkeypatch, 150.0)  # 0.6 ratio everywhere
+    assert gate.main(flags + ["check", "--models"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_check_models_without_models_baseline_fails(gate, tmp_path, monkeypatch, capsys):
+    assert gate.main(_paths(gate, tmp_path, monkeypatch, 250.0) + ["record"]) == 0
+    (tmp_path / "BENCH_models.json").unlink()
+    flags = _paths(gate, tmp_path, monkeypatch, 250.0)
+    assert gate.main(flags + ["check", "--models"]) == 1
+    assert "no models baseline" in capsys.readouterr().out
 
 
 def test_check_fails_loudly_past_30_percent_regression(gate, tmp_path, monkeypatch, capsys):
@@ -105,7 +145,8 @@ def test_check_rejects_cycle_count_drift(gate, tmp_path, monkeypatch, capsys):
     assert gate.main(_paths(gate, tmp_path, monkeypatch, 250.0) + ["record"]) == 0
     flags = _paths(gate, tmp_path, monkeypatch, 250.0)
     monkeypatch.setattr(
-        gate, "run_benchmark", lambda: _report(250.0, cycles=9999)
+        gate, "run_benchmark",
+        lambda workload=None: _report(250.0, cycles=9999, workload=workload),
     )
     assert gate.main(flags + ["check"]) == 1
     assert "re-record" in capsys.readouterr().out
@@ -122,3 +163,15 @@ def test_committed_baseline_matches_tool_workload(gate):
     assert trajectory.strip(), "trajectory must carry at least the first point"
     for line in trajectory.splitlines():
         json.loads(line)
+
+
+def test_committed_models_baseline_matches_tool_workloads(gate):
+    """Same apples-to-apples contract for the per-model baselines."""
+    models = json.loads(
+        (REPO / "benchmarks" / "results" / "BENCH_models.json").read_text()
+    )
+    assert models["schema"] == gate.MODELS_SCHEMA
+    assert set(models["models"]) == set(gate.MODEL_WORKLOADS)
+    for name, entry in models["models"].items():
+        assert entry["workload"] == gate.MODEL_WORKLOADS[name]
+        assert entry["bench"]["cycles_per_second"] > 0

@@ -100,7 +100,8 @@ class TestCorruptedReservationTable:
         _, _, table = connected_table(network)
         table.advance(simulator.cycle)
         slot = (simulator.cycle + 2) % table.horizon
-        table._free[slot] = -5  # a phantom charge: more flits than buffers
+        # A phantom charge: drives the free count at that cycle negative.
+        table._dfree[slot] -= table.downstream_buffers + 5
         with pytest.raises(InvariantViolation):
             simulator.step()
 
@@ -109,7 +110,7 @@ class TestCorruptedReservationTable:
         _, _, table = connected_table(network)
         table.advance(simulator.cycle)
         slot = simulator.cycle % table.horizon
-        table._free[slot] = table.downstream_buffers + 3  # phantom free buffers
+        table._dfree[slot] += 3  # phantom free buffers from this cycle on
         with pytest.raises(InvariantViolation) as excinfo:
             simulator.step()
         # The checker raised before the clock advanced: caught in-cycle.

@@ -12,23 +12,28 @@ would drift in silently.  This tool closes the loop:
     so the number is the raw simulator, not the event-bus overhead --
     write the baseline (``benchmarks/results/BENCH_5.json``) and append
     one line to the trajectory log
-    (``benchmarks/results/BENCH_trajectory.jsonl``).  Both files are
-    committed, so the trajectory accumulates one point per re-record
+    (``benchmarks/results/BENCH_trajectory.jsonl``).  It then runs the
+    per-model quick points (VC8, WH8, and FR6 on a 16x16 mesh), writes
+    them to ``benchmarks/results/BENCH_models.json``, and appends one
+    trajectory line per model (tagged with a ``model`` field).  All files
+    are committed, so the trajectory accumulates one point per re-record
     across the repo's history.
 
 ``check``
-    Re-run the same workload and compare fresh cycles/sec against the
+    Re-run the primary workload and compare fresh cycles/sec against the
     baseline.  Fails loudly (exit 1) when the fresh number falls below
     ``--min-ratio`` times the baseline -- the default 0.7 flags a >30%
-    regression.  CI runs on shared runners whose absolute speed differs
-    from the machine that recorded the baseline, so its invocation passes
-    a much looser ratio; the tight default is for like-for-like checks on
-    the recording machine.
+    regression.  With ``--models`` the per-model workloads are gated the
+    same way against ``BENCH_models.json``.  CI runs on shared runners
+    whose absolute speed differs from the machine that recorded the
+    baseline, so its invocation passes a much looser ratio; the tight
+    default is for like-for-like checks on the recording machine.
 
 Usage::
 
     python tools/bench_gate.py record
     python tools/bench_gate.py check
+    python tools/bench_gate.py check --models
     python tools/bench_gate.py check --min-ratio 0.3   # cross-machine (CI)
 """
 
@@ -44,29 +49,64 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_5.json"
+MODELS_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_models.json"
 TRAJECTORY = REPO_ROOT / "benchmarks" / "results" / "BENCH_trajectory.jsonl"
 BASELINE_SCHEMA = "frfc-bench-baseline/1"
+MODELS_SCHEMA = "frfc-bench-models/1"
 
-#: The benchmark workload: the standard observed quick point.
+#: The primary benchmark workload: the standard observed quick point.
 WORKLOAD = {"config": "FR6", "offered_load": 0.5, "preset": "quick", "seed": 1}
 
+#: Per-model quick points: one per flow-control scheme plus a larger mesh.
+#: Loads sit below each scheme's saturation so the drain phase terminates;
+#: the mesh entry stresses the worklist machinery (256 routers, most idle).
+MODEL_WORKLOADS = {
+    "VC8": {"config": "VC8", "offered_load": 0.4, "preset": "quick", "seed": 1},
+    "WH8": {"config": "WH8", "offered_load": 0.3, "preset": "quick", "seed": 1},
+    "FR6_16x16": {
+        "config": "FR6",
+        "offered_load": 0.4,
+        "preset": "quick",
+        "seed": 1,
+        "mesh": [16, 16],
+    },
+}
 
-def run_benchmark() -> dict[str, Any]:
-    """Run the workload with only the profiler attached; returns its report."""
-    from repro import FR6, run_experiment
+
+def _resolve_config(name: str) -> Any:
+    from repro import FR6, VC8, WormholeConfig
+
+    configs = {"FR6": FR6, "VC8": VC8, "WH8": WormholeConfig(buffers_per_input=8)}
+    try:
+        return configs[name]
+    except KeyError:
+        raise SystemExit(
+            f"bench-gate: unknown workload config {name!r}; known: "
+            + ", ".join(sorted(configs))
+        ) from None
+
+
+def run_benchmark(workload: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Run one workload with only the profiler attached; returns its report."""
+    from repro import Mesh2D, run_experiment
     from repro.obs.session import ObsSession
 
+    if workload is None:
+        workload = WORKLOAD
+    mesh_dims = workload.get("mesh")
+    mesh = Mesh2D(*mesh_dims) if mesh_dims else None
     session = ObsSession(profile=True, manifest_out="", bench_out="")
     result = run_experiment(
-        FR6,
-        WORKLOAD["offered_load"],
-        preset=str(WORKLOAD["preset"]),
-        seed=int(WORKLOAD["seed"]),
+        _resolve_config(str(workload["config"])),
+        workload["offered_load"],
+        preset=str(workload["preset"]),
+        seed=int(workload["seed"]),
+        mesh=mesh,
         obs=session,
     )
     assert session.profiler is not None
     report = session.profiler.report()
-    report["workload"] = dict(WORKLOAD)
+    report["workload"] = dict(workload)
     report["packets_measured"] = result.packets_measured
     return report
 
@@ -77,22 +117,15 @@ def git_sha() -> str:
     return manifest_git_sha()
 
 
-def record(args: argparse.Namespace) -> int:
-    report = run_benchmark()
-    baseline = {
-        "schema": BASELINE_SCHEMA,
-        "workload": report["workload"],
-        "packets_measured": report["packets_measured"],
-        "git_sha": git_sha(),
-        "bench": {key: report[key] for key in ("cycles", "wall_seconds",
-                                               "cycles_per_second", "phases")},
-    }
-    args.baseline.parent.mkdir(parents=True, exist_ok=True)
-    with open(args.baseline, "w", encoding="utf-8") as handle:
-        json.dump(baseline, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+def _bench_block(report: dict[str, Any]) -> dict[str, Any]:
+    return {key: report[key] for key in ("cycles", "wall_seconds",
+                                         "cycles_per_second", "phases")}
+
+
+def _trajectory_entry(report: dict[str, Any], sha: str,
+                      model: str | None = None) -> dict[str, Any]:
     entry = {
-        "git_sha": baseline["git_sha"],
+        "git_sha": sha,
         "cycles": report["cycles"],
         "wall_seconds": report["wall_seconds"],
         "cycles_per_second": report["cycles_per_second"],
@@ -101,12 +134,52 @@ def record(args: argparse.Namespace) -> int:
             for name, phase in sorted(report["phases"].items())
         },
     }
-    with open(args.trajectory, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(entry, sort_keys=True))
+    if model is not None:
+        entry["model"] = model
+    return entry
+
+
+def record(args: argparse.Namespace) -> int:
+    sha = git_sha()
+    report = run_benchmark()
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "workload": report["workload"],
+        "packets_measured": report["packets_measured"],
+        "git_sha": sha,
+        "bench": _bench_block(report),
+    }
+    args.baseline.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.baseline, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    entries = [_trajectory_entry(report, sha)]
     print(f"bench-gate: recorded {report['cycles_per_second']:,.1f} cycles/sec "
           f"({report['cycles']} cycles, {report['wall_seconds']:.2f}s)")
+
+    models: dict[str, Any] = {}
+    for model in sorted(MODEL_WORKLOADS):
+        model_report = run_benchmark(MODEL_WORKLOADS[model])
+        models[model] = {
+            "workload": model_report["workload"],
+            "packets_measured": model_report["packets_measured"],
+            "bench": _bench_block(model_report),
+        }
+        entries.append(_trajectory_entry(model_report, sha, model=model))
+        print(f"  {model:>10}: {model_report['cycles_per_second']:>10,.1f} cycles/sec "
+              f"({model_report['cycles']} cycles, "
+              f"{model_report['wall_seconds']:.2f}s)")
+    models_baseline = {"schema": MODELS_SCHEMA, "git_sha": sha, "models": models}
+    with open(args.models_baseline, "w", encoding="utf-8") as handle:
+        json.dump(models_baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    with open(args.trajectory, "a", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry, sort_keys=True))
+            handle.write("\n")
     print(f"  baseline:   {_display(args.baseline)}")
+    print(f"  models:     {_display(args.models_baseline)}")
     print(f"  trajectory: {_display(args.trajectory)} "
           f"({sum(1 for _ in open(args.trajectory))} points)")
     return 0
@@ -119,6 +192,41 @@ def _display(path: Path) -> str:
         return str(path)
 
 
+def _gate_one(label: str, baseline_bench: dict[str, Any],
+              baseline_workload: dict[str, Any], report: dict[str, Any],
+              min_ratio: float) -> int:
+    if report["workload"] != baseline_workload:
+        print(f"bench-gate: {label} baseline was recorded for a different "
+              f"workload ({baseline_workload}); re-record it")
+        return 1
+    # The workload is deterministic, so a cycle-count drift means the
+    # simulation itself changed out from under the recorded baseline.
+    if report["cycles"] != baseline_bench["cycles"]:
+        print(f"bench-gate: {label} workload simulated {report['cycles']} cycles "
+              f"but the baseline recorded {baseline_bench['cycles']}; the "
+              "benchmark workload changed -- re-record the baseline")
+        return 1
+    old = baseline_bench["cycles_per_second"]
+    new = report["cycles_per_second"]
+    ratio = new / old if old else 0.0
+    print(f"bench-gate: {label} baseline {old:,.1f} cycles/sec -> fresh "
+          f"{new:,.1f} (ratio {ratio:.2f}, gate {min_ratio:.2f})")
+    for name in sorted(report["phases"]):
+        fresh_phase = report["phases"][name]["cycles_per_second"]
+        base_phase = baseline_bench["phases"].get(name, {}).get(
+            "cycles_per_second", 0.0
+        )
+        phase_ratio = fresh_phase / base_phase if base_phase else float("nan")
+        print(f"  {name:>8}: {base_phase:>12,.1f} -> {fresh_phase:>12,.1f} "
+              f"(ratio {phase_ratio:.2f})")
+    if ratio < min_ratio:
+        print(f"bench-gate: FAIL -- {label} is {1 - ratio:.0%} slower than the "
+              "recorded baseline (beyond the allowed regression). If the slowdown "
+              "is intentional, re-record with `python tools/bench_gate.py record`.")
+        return 1
+    return 0
+
+
 def check(args: argparse.Namespace) -> int:
     if not args.baseline.exists():
         print(f"bench-gate: no baseline at {args.baseline}; run `record` first")
@@ -129,34 +237,30 @@ def check(args: argparse.Namespace) -> int:
         print(f"bench-gate: unexpected baseline schema {baseline.get('schema')!r}")
         return 1
     report = run_benchmark()
-    if report["workload"] != baseline["workload"]:
-        print("bench-gate: baseline was recorded for a different workload "
-              f"({baseline['workload']}); re-record it")
-        return 1
-    # The workload is deterministic, so a cycle-count drift means the
-    # simulation itself changed out from under the recorded baseline.
-    if report["cycles"] != baseline["bench"]["cycles"]:
-        print(f"bench-gate: workload simulated {report['cycles']} cycles but the "
-              f"baseline recorded {baseline['bench']['cycles']}; the benchmark "
-              "workload changed -- re-record the baseline")
-        return 1
-    old = baseline["bench"]["cycles_per_second"]
-    new = report["cycles_per_second"]
-    ratio = new / old if old else 0.0
-    print(f"bench-gate: baseline {old:,.1f} cycles/sec -> fresh {new:,.1f} "
-          f"(ratio {ratio:.2f}, gate {args.min_ratio:.2f})")
-    for name in sorted(report["phases"]):
-        fresh_phase = report["phases"][name]["cycles_per_second"]
-        base_phase = baseline["bench"]["phases"].get(name, {}).get(
-            "cycles_per_second", 0.0
-        )
-        phase_ratio = fresh_phase / base_phase if base_phase else float("nan")
-        print(f"  {name:>8}: {base_phase:>12,.1f} -> {fresh_phase:>12,.1f} "
-              f"(ratio {phase_ratio:.2f})")
-    if ratio < args.min_ratio:
-        print(f"bench-gate: FAIL -- simulator is {1 - ratio:.0%} slower than the "
-              "recorded baseline (beyond the allowed regression). If the slowdown "
-              "is intentional, re-record with `python tools/bench_gate.py record`.")
+    failed = _gate_one("FR6", baseline["bench"], baseline["workload"], report,
+                       args.min_ratio)
+    if args.models:
+        if not args.models_baseline.exists():
+            print(f"bench-gate: no models baseline at {args.models_baseline}; "
+                  "run `record` first")
+            return 1
+        with open(args.models_baseline, encoding="utf-8") as handle:
+            models_baseline = json.load(handle)
+        if models_baseline.get("schema") != MODELS_SCHEMA:
+            print("bench-gate: unexpected models baseline schema "
+                  f"{models_baseline.get('schema')!r}")
+            return 1
+        for model in sorted(MODEL_WORKLOADS):
+            recorded = models_baseline["models"].get(model)
+            if recorded is None:
+                print(f"bench-gate: models baseline has no entry for {model}; "
+                      "re-record it")
+                failed = 1
+                continue
+            model_report = run_benchmark(MODEL_WORKLOADS[model])
+            failed |= _gate_one(model, recorded["bench"], recorded["workload"],
+                                model_report, args.min_ratio)
+    if failed:
         return 1
     print("bench-gate: OK")
     return 0
@@ -168,9 +272,10 @@ def main(argv: list[str] | None = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--models-baseline", type=Path, default=MODELS_BASELINE)
     parser.add_argument("--trajectory", type=Path, default=TRAJECTORY)
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("record", help="run the workload and (re)write the baseline")
+    sub.add_parser("record", help="run the workloads and (re)write the baselines")
     gate = sub.add_parser("check", help="run the workload and gate on the baseline")
     gate.add_argument(
         "--min-ratio",
@@ -178,6 +283,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.7,
         help="fail when fresh/baseline cycles/sec falls below this "
         "(default 0.7 = a >30%% regression fails)",
+    )
+    gate.add_argument(
+        "--models",
+        action="store_true",
+        help="also gate the per-model quick points (VC8, WH8, FR6 on 16x16) "
+        "against BENCH_models.json",
     )
     args = parser.parse_args(argv)
     if args.command == "record":

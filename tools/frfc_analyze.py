@@ -209,7 +209,9 @@ def _cmd_hotpath(args: argparse.Namespace) -> int:
             return 1
         with open(args.check_budget, encoding="utf-8") as handle:
             budget = json.load(handle)
-        violations, notes = check_budget(reports, budget)
+        violations, notes = check_budget(
+            reports, budget, fail_on_slack=args.fail_on_slack
+        )
         for note in notes:
             print(f"note: {note}")
         if violations:
@@ -321,6 +323,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="fail when fresh counts exceed the recorded budget",
+    )
+    hotpath.add_argument(
+        "--fail-on-slack",
+        action="store_true",
+        help="with --check-budget, also fail when the committed budget is "
+        "looser than what the analyzer measures (forces re-recording wins)",
     )
     hotpath.add_argument(
         "--verify",
