@@ -21,6 +21,16 @@ per-file lint pass in :mod:`repro.lint` and the runtime
   per-cycle call tree, backs the D009/D010 lint rules, and gates the
   committed ``frfc-hotpath/1`` allocation budget (with a ``tracemalloc``
   runtime cross-check).
+* :mod:`repro.analysis.isolation` -- whole-program determinism & isolation
+  prover: certifies each ``run_experiment``/``run_load_sweep`` entry point
+  a pure function of (config, seed, load) -- shared-mutable-state
+  inventory, RNG seed provenance, unordered-iteration detection -- emits
+  the ``frfc-isolation/1`` certificate gated by
+  ``benchmarks/results/ISOLATION_baseline.json``, backs the D011/D012/D013
+  lint rules, and cross-checks dynamically via spawn/serial digest
+  identity.
+* :mod:`repro.analysis.broken_isolation` -- deliberately
+  isolation-breaking fixtures the prover must catch.
 
 Everything here is pure stdlib and imports the simulator's modules only as
 source text (AST) or through their public APIs; analysis never mutates
@@ -57,6 +67,16 @@ from repro.analysis.hotpath import (
     check_budget,
     verify_allocations,
 )
+from repro.analysis.isolation import (
+    EntryPointReport,
+    IsolationError,
+    IsolationFinding,
+    IsolationVerifyReport,
+    analyze_entry_points,
+    build_certificate,
+    check_certificate,
+    verify_isolation,
+)
 from repro.analysis.permute import (
     PermutationReport,
     RunDigest,
@@ -67,10 +87,14 @@ __all__ = [
     "AnalysisError",
     "CDGReport",
     "Channel",
+    "EntryPointReport",
     "GreedyDimensionRouting",
     "Hazard",
     "HotFunction",
     "HotPathFinding",
+    "IsolationError",
+    "IsolationFinding",
+    "IsolationVerifyReport",
     "ModelHotPathReport",
     "ModelRaceReport",
     "PermutationReport",
@@ -79,6 +103,7 @@ __all__ = [
     "RunDigest",
     "VerifyReport",
     "YXMixedRouting",
+    "analyze_entry_points",
     "analyze_hot_model",
     "analyze_hot_networks",
     "analyze_known_networks",
@@ -87,9 +112,12 @@ __all__ = [
     "analyze_module_source",
     "build_budget",
     "build_cdg",
+    "build_certificate",
     "check_budget",
+    "check_certificate",
     "prove_deadlock_freedom",
     "run_permutation_diff",
     "tarjan_sccs",
     "verify_allocations",
+    "verify_isolation",
 ]

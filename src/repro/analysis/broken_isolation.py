@@ -1,0 +1,109 @@
+"""Deliberately isolation-breaking fixtures the prover must catch.
+
+Each class below commits exactly one of the sins
+:mod:`repro.analysis.isolation` exists to find, in its most tempting form
+-- the shape a well-meaning optimisation would take:
+
+* :class:`AmbientTraffic` draws destinations from the ambient ``random``
+  module: every draw consumes process-global state, so two sweep points in
+  the same process perturb each other and no seed reproduces a run (D001,
+  and pass 2's untraceable provenance, D012).
+* :class:`MemoizingRouter` memoizes route lookups into a module-level dict
+  -- the cache outlives the sweep point that filled it, warming later
+  points with earlier points' entries (pass 1, D011).
+* :class:`TallyStats` accumulates into a *class-level* dict that every
+  instance aliases: counters from different networks (and different sweep
+  points) land in one shared container (pass 1, D011).
+* :class:`UnorderedDrain` iterates a set attribute and keys a map by
+  ``id()``: drain order and key values depend on the hash seed and heap
+  layout, so anything they feed -- arbitration, exported artifacts --
+  diverges between processes (pass 3, D013).
+
+The line-level ``frfc-lint: disable`` comments keep the repo-wide lint gate
+green; the whole-program isolation pass deliberately ignores suppressions,
+so pointing ``frfc-analyze isolation`` at this module still yields VIOLATED
+-- which is exactly what ``tests/analysis/test_isolation.py`` asserts.
+
+None of these classes may ever be handed to a network model.
+"""
+
+from __future__ import annotations
+
+import random  # frfc-lint: disable=D001 -- the ambient-RNG sin under test
+
+from repro.topology.mesh import Mesh2D
+
+#: The memoization sin: a module-level cache written from instance methods.
+_ROUTE_CACHE: dict[tuple[int, int], int] = {}
+
+
+class AmbientTraffic:
+    """A traffic pattern drawing destinations from ambient ``random``."""
+
+    __slots__ = ("mesh",)
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+
+    def destination(self, source: int) -> int:
+        """A uniformly random destination -- from process-global state."""
+        target = random.randint(0, self.mesh.num_nodes - 2)  # frfc-lint: disable=D001,D012
+        return target if target < source else target + 1
+
+
+class MemoizingRouter:
+    """A routing function memoizing into a module-level dict."""
+
+    __slots__ = ("mesh",)
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+
+    def output_port(self, node: int, destination: int) -> int:
+        """Dimension-ordered next hop, cached across *every* instance."""
+        key = (node, destination)
+        if key not in _ROUTE_CACHE:
+            _ROUTE_CACHE[key] = self._compute(node, destination)  # frfc-lint: disable=D011
+        return _ROUTE_CACHE[key]
+
+    def _compute(self, node: int, destination: int) -> int:
+        node_x, node_y = self.mesh.coordinates(node)
+        dest_x, dest_y = self.mesh.coordinates(destination)
+        if node_x != dest_x:
+            return 1 if dest_x > node_x else 0
+        if node_y != dest_y:
+            return 3 if dest_y > node_y else 2
+        return 4
+
+
+class TallyStats:
+    """Event counters accumulated into class-level (shared) state."""
+
+    #: Shared by every instance -- the aliasing sin under test.
+    totals: dict[str, int] = {}
+
+    def record(self, event: str) -> None:
+        self.totals[event] = self.totals.get(event, 0) + 1  # frfc-lint: disable=D011
+
+    def count(self, event: str) -> int:
+        return self.totals.get(event, 0)
+
+
+class UnorderedDrain:
+    """A drain queue whose order leaks the process hash seed."""
+
+    __slots__ = ("_pending", "_by_identity")
+
+    def __init__(self) -> None:
+        self._pending: set[int] = set()
+        self._by_identity: dict[int, object] = {}
+
+    def stash(self, item: object, tag: int) -> None:
+        self._pending.add(tag)
+        self._by_identity[id(item)] = item  # frfc-lint: disable=D013
+
+    def drain(self) -> list[int]:
+        """Pop everything -- in hash order, not arrival order."""
+        order = [tag for tag in self._pending]  # frfc-lint: disable=D013
+        self._pending.clear()
+        return order

@@ -305,7 +305,7 @@ class HotPathAnalyzer:
             if not self._expand_subclasses():
                 break
         self._check_slots()
-        unique_keys = dict.fromkeys(key for key, _ in self._hot_methods)
+        unique_keys = dict.fromkeys(key for key, _ in sorted(self._hot_methods))
         hot_classes = sorted(f"{module}:{name}" for (module, name) in unique_keys)
         return ModelHotPathReport(
             label=self.label,
@@ -694,7 +694,7 @@ class HotPathAnalyzer:
         self, keys: frozenset[ClassKey], attr: str
     ) -> frozenset[ClassKey]:
         out: set[ClassKey] = set()
-        for key in keys:
+        for key in sorted(keys):
             model = self._class_model(key)
             if model is not None:
                 out |= model.attr_types.get(attr, frozenset())
@@ -829,7 +829,7 @@ class HotPathAnalyzer:
 
     def _check_slots(self) -> None:
         flagged: set[ClassKey] = set()
-        for key in sorted({k for k, _ in self._hot_methods}):
+        for key in sorted({k for k, _ in sorted(self._hot_methods)}):
             info = self._resolved.get(key)
             if info is None or self._slots_exempt(info):
                 continue

@@ -22,7 +22,7 @@ turnaround time to zero.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.buffer_pool import BufferPool, IntervalBookkeeper
 from repro.core.flits import DataFlit
@@ -33,9 +33,12 @@ class InputScheduleError(Exception):
 
 
 # Shared sentinel for "no departures this cycle": the caller only iterates
-# the returned list, so handing every idle call the same immutable-by-
-# convention empty list avoids an allocation on the dominant path.
-_NO_DEPARTURES: list[tuple[DataFlit, int]] = []
+# the returned sequence, so handing every idle call the same empty tuple
+# avoids an allocation on the dominant path.  A tuple (not a list) so no
+# caller can mutate it and alias state across every InputScheduler in the
+# mesh -- the isolation prover treats a returned module-level list as an
+# escaping global.
+_NO_DEPARTURES: tuple[tuple[DataFlit, int], ...] = ()
 
 #: ``next_departure`` when nothing is scheduled -- later than any real cycle.
 _NEVER = 1 << 60
@@ -143,7 +146,7 @@ class InputScheduler:
         """Departures already scheduled from this input at ``cycle``."""
         return self.port_uses.get(cycle, 0)
 
-    def _take_departures_plain(self, now: int) -> list[tuple[DataFlit, int]]:
+    def _take_departures_plain(self, now: int) -> Sequence[tuple[DataFlit, int]]:
         """Pop this cycle's scheduled (flit, output port) departures.
 
         Buffers are freed here, *before* arrivals are processed, so a buffer
@@ -161,7 +164,7 @@ class InputScheduler:
         release = self.pool.release
         return [(release(buffer_index), out_port) for buffer_index, out_port in entries]
 
-    def _take_departures_observed(self, now: int) -> list[tuple[DataFlit, int]]:
+    def _take_departures_observed(self, now: int) -> Sequence[tuple[DataFlit, int]]:
         # Lockstep twin of _take_departures_plain plus the buffer events.
         released = self._take_departures_plain(now)
         if released:

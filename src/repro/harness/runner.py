@@ -82,8 +82,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--analyze",
         action="store_true",
-        help="before running, prove the routing deadlock-free (CDG) and the "
-        "network phase loops race-free (see docs/static-analysis.md)",
+        help="before running, prove the routing deadlock-free (CDG), the "
+        "network phase loops race-free, and the run_experiment/run_load_sweep "
+        "entry points isolation-certified (see docs/static-analysis.md)",
     )
     obs_flags = parser.add_argument_group(
         "observability", "exports for `obs` and `point` runs (docs/observability.md)"
@@ -533,10 +534,17 @@ def _run_analysis_gates() -> None:
     Gate 1: the shipped routing function induces an acyclic channel
     dependency graph on the experiment mesh (deadlock freedom).  Gate 2:
     every network's ``step()`` phase loops are actor-order independent
-    (no same-cycle races).  Both gates are pure analysis -- no simulation
-    runs, so the cost is a fraction of a second.
+    (no same-cycle races).  Gate 3: every ``run_experiment``/
+    ``run_load_sweep`` entry point certifies isolated -- a pure function
+    of (config, seed, load), no shared mutable state, traceable RNG
+    provenance, ordered iteration.  All three gates are pure analysis --
+    no simulation runs, so the cost is a fraction of a second.
     """
-    from repro.analysis import analyze_known_networks, prove_deadlock_freedom
+    from repro.analysis import (
+        analyze_entry_points,
+        analyze_known_networks,
+        prove_deadlock_freedom,
+    )
     from repro.topology.mesh import Mesh2D
     from repro.topology.routing import DimensionOrderRouting
 
@@ -547,7 +555,13 @@ def _run_analysis_gates() -> None:
     for report in analyze_known_networks():
         if not report.clean:
             raise SystemExit(f"--analyze: phase races detected\n{report.format()}")
-    print("analyze: xy routing deadlock-free on 8x8; FR/VC/WH phases race-free")
+    for entry in analyze_entry_points():
+        if entry.findings:
+            raise SystemExit(f"--analyze: isolation violated\n{entry.render()}")
+    print(
+        "analyze: xy routing deadlock-free on 8x8; FR/VC/WH phases race-free; "
+        "entry points isolation-certified"
+    )
 
 
 def _trace(args: argparse.Namespace) -> str:

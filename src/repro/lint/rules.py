@@ -1,4 +1,4 @@
-"""The frfc-lint rules (D001-D010).
+"""The frfc-lint rules (D001-D013).
 
 These are *simulator-specific* checks: each one fences off a class of bug
 that has silently corrupted cycle-accurate models in practice.
@@ -46,6 +46,26 @@ D010   Classes reachable from a local model's per-cycle hot path must
        declare ``__slots__``.  A slotless instance drags a ``__dict__``
        through every cycle: more memory traffic and slower attribute
        lookups exactly where the simulator spends its time.
+D011   No writes to (or escapes of) module-level or class-level mutable
+       state: the per-file slice of the :mod:`repro.analysis.isolation`
+       prover's pass 1.  A module dict written from a method, a
+       class-level list shared by every instance, or a ``functools``
+       cache couples sweep points that must be independent; the
+       whole-program pass runs as ``frfc_analyze isolation`` and is
+       CI-gated by ``benchmarks/results/ISOLATION_baseline.json``.
+D012   Every stochastic draw must have traceable seed provenance: the
+       receiver of a draw call has to trace to a
+       :class:`repro.sim.rng.DeterministicRng` -- an annotated parameter,
+       an explicit construction, a ``.spawn(...)``, or a ``self`` attr
+       assigned one of those (isolation prover pass 2).  D001 bans the
+       ambient ``random`` module; D012 additionally rejects draws whose
+       generator cannot be traced to an explicit seed.
+D013   No digest-reaching unordered iteration: iterating set-typed
+       names/attributes, keying containers by ``id()``/``hash()``, or
+       sorting with identity-based keys (isolation prover pass 3).  D002
+       bans bare set *expressions*; D013 follows set-typed values and
+       identity keys, whose order leaks the process hash seed into
+       simulated state or exported artifacts.
 =====  ======================================================================
 
 Any rule can be silenced on a single line with ``# frfc-lint: disable=Dxxx``
@@ -479,6 +499,79 @@ class NoPrintInSimulator(Rule):
                 )
 
 
+#: Finding categories from the isolation analyzer, split per rule.  The
+#: ``default-alias`` category is deliberately absent: D004 already owns
+#: mutable default arguments per-file.
+_D011_CATEGORIES = frozenset(
+    {"global-write", "global-escape", "class-mutable-write", "functools-cache"}
+)
+_D013_CATEGORIES = frozenset({"unordered-iteration", "id-keyed"})
+
+
+class NoSharedMutableState(Rule):
+    """D011: no writes to or escapes of module/class-level mutable state."""
+
+    rule_id = "D011"
+    summary = "module/class-level mutable state written or escaping"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        # Lazy for the same reason as D007/D009: repro.analysis is heavyweight.
+        from repro.analysis.isolation import analyze_module_isolation_ast
+
+        for hit in analyze_module_isolation_ast(tree, path):
+            if hit.category not in _D011_CATEGORIES:
+                continue
+            yield Finding(
+                path=path,
+                line=hit.line,
+                column=0,
+                rule_id=self.rule_id,
+                message=f"[{hit.category}] in {hit.qualname}: {hit.detail}",
+            )
+
+
+class RngProvenanceTraceable(Rule):
+    """D012: every stochastic draw must trace to a seeded DeterministicRng."""
+
+    rule_id = "D012"
+    summary = "RNG draw with untraceable seed provenance"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        from repro.analysis.isolation import analyze_module_isolation_ast
+
+        for hit in analyze_module_isolation_ast(tree, path):
+            if hit.category != "rng-untraced":
+                continue
+            yield Finding(
+                path=path,
+                line=hit.line,
+                column=0,
+                rule_id=self.rule_id,
+                message=f"in {hit.qualname}: {hit.detail}",
+            )
+
+
+class NoUnorderedIterationToDigest(Rule):
+    """D013: no hash/identity-ordered iteration that can reach a digest."""
+
+    rule_id = "D013"
+    summary = "digest-hazardous unordered iteration or identity-keyed container"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        from repro.analysis.isolation import analyze_module_isolation_ast
+
+        for hit in analyze_module_isolation_ast(tree, path):
+            if hit.category not in _D013_CATEGORIES:
+                continue
+            yield Finding(
+                path=path,
+                line=hit.line,
+                column=0,
+                rule_id=self.rule_id,
+                message=f"[{hit.category}] in {hit.qualname}: {hit.detail}",
+            )
+
+
 #: Every rule the engine runs, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     NoAmbientNondeterminism(),
@@ -491,4 +584,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoPrintInSimulator(),
     NoHotPathAllocation(),
     HotPathClassesHaveSlots(),
+    NoSharedMutableState(),
+    RngProvenanceTraceable(),
+    NoUnorderedIterationToDigest(),
 )

@@ -3,9 +3,11 @@
 Every observability export is accompanied by a manifest recording the
 configuration (as a plain dict), the measurement preset, the seed, and the
 source tree's git SHA.  The manifest is deterministic for a given checkout:
-the git SHA is read once per process from the repository this package was
-imported from, and no wall-clock timestamp is recorded (reproducibility
-beats provenance-by-date; the SHA *is* the provenance).
+the git SHA is re-read from the repository this package was imported from
+on every call (manifests are written once per run, so there is no cache --
+caching would be module-global state shared across sweep points, which the
+isolation prover forbids), and no wall-clock timestamp is recorded
+(reproducibility beats provenance-by-date; the SHA *is* the provenance).
 """
 
 from __future__ import annotations
@@ -18,30 +20,28 @@ from typing import Any, Mapping
 
 MANIFEST_SCHEMA = "frfc-obs-manifest/1"
 
-_git_sha_cache: dict[str, str] = {}
-
 
 def git_sha() -> str:
     """The HEAD commit of the repository containing this package.
 
     Returns ``"unknown"`` when the package runs outside a git checkout
-    (e.g. an installed wheel) or git itself is unavailable.
+    (e.g. an installed wheel) or git itself is unavailable.  Uncached:
+    manifests are written once per run, and the rev-parse cost is nothing
+    next to the sweep it describes.
     """
-    if "sha" not in _git_sha_cache:
-        try:
-            result = subprocess.run(
-                ["git", "rev-parse", "HEAD"],
-                cwd=Path(__file__).resolve().parent,
-                capture_output=True,
-                text=True,
-                timeout=10,
-                check=False,
-            )
-            sha = result.stdout.strip()
-            _git_sha_cache["sha"] = sha if result.returncode == 0 and sha else "unknown"
-        except OSError:
-            _git_sha_cache["sha"] = "unknown"
-    return _git_sha_cache["sha"]
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        sha = result.stdout.strip()
+        return sha if result.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
 
 
 def build_manifest(

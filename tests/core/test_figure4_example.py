@@ -60,12 +60,13 @@ class TestFigure4InputScheduling:
         flit = DataFlit(packet, 0)
 
         for cycle in range(9):
-            assert scheduler.take_departures(cycle) == []
+            # The idle path returns the shared immutable empty-tuple sentinel.
+            assert list(scheduler.take_departures(cycle)) == []
         assert scheduler.on_arrival(9, flit) is None  # buffered, not bypassed
         assert scheduler.occupancy == 1
 
         for cycle in range(9, 12):
-            assert scheduler.take_departures(cycle) == []
+            assert list(scheduler.take_departures(cycle)) == []
         departures = scheduler.take_departures(12)
         assert departures == [(flit, EAST)]
         assert scheduler.occupancy == 0

@@ -76,3 +76,49 @@ class TestBenchCommand:
         module = runner._load_bench_gate()
         assert callable(module.main)
         assert module.WORKLOAD["config"] == "FR6"
+
+
+class TestAnalyzeGate:
+    """`frfc --analyze` runs the cdg + races + isolation gates up front."""
+
+    def test_gate_passes_and_names_all_three_proofs(self, capsys):
+        assert (
+            runner.main(
+                ["--analyze", "trace", "FR6", "--packet", "1", "--cycles", "200"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "deadlock-free" in out
+        assert "race-free" in out
+        assert "isolation-certified" in out
+
+    def test_gate_aborts_on_isolation_violation(self, monkeypatch, capsys):
+        import repro.analysis
+        from repro.analysis.isolation import EntryPointReport, IsolationFinding
+
+        violated = EntryPointReport(
+            name="run_experiment[FR]",
+            module="repro.harness.experiment",
+            function="run_experiment",
+            model="FR",
+            modules=("repro.harness.experiment",),
+            read_only_globals=(),
+            traced_draws=0,
+            findings=(
+                IsolationFinding(
+                    category="global-write",
+                    path="src/repro/core/fake.py",
+                    line=3,
+                    qualname="fake.f",
+                    detail="a seeded violation",
+                ),
+            ),
+        )
+        monkeypatch.setattr(
+            repro.analysis, "analyze_entry_points", lambda: [violated]
+        )
+        with pytest.raises(SystemExit, match="isolation violated"):
+            runner.main(
+                ["--analyze", "trace", "FR6", "--packet", "1", "--cycles", "200"]
+            )

@@ -703,6 +703,9 @@ class TestEngine:
             "D008",
             "D009",
             "D010",
+            "D011",
+            "D012",
+            "D013",
         ]
         assert all(rule.summary for rule in ALL_RULES)
 
