@@ -31,6 +31,7 @@ from repro.topology.mesh import Mesh2D
 from repro.traffic.patterns import TrafficPattern
 
 if TYPE_CHECKING:
+    from repro.obs.ledger import RunLedger
     from repro.obs.session import ObsSession
 
 AnyConfig = Union[VCConfig, FRConfig, WormholeConfig]
@@ -122,6 +123,7 @@ def run_experiment(
     streaming: bool = False,
     check_invariants: bool = False,
     obs: Optional["ObsSession"] = None,
+    ledger: Optional["RunLedger"] = None,
     **network_kwargs: Any,
 ) -> ExperimentResult:
     """Warm up, sample, drain, and report one (config, load) point.
@@ -132,9 +134,32 @@ def run_experiment(
     With ``obs`` the run is *observed*: the session's probe and metrics
     sampler attach before warm-up and its profiler splits wall time into
     warmup/sample/drain; the caller finalizes artifacts afterwards.
+    With ``ledger`` the run is *memoised*: the point's pre-execution
+    identity (config + load + seed + preset + git SHA + code digest) is
+    looked up in the content-addressed run ledger, a verified hit replays
+    the recorded result byte-identically without simulating, and a miss
+    simulates then records -- so interrupted sweeps resume for free.
     """
     preset = get_preset(preset)
     mesh = mesh or Mesh2D(8, 8)
+    identity = None
+    if ledger is not None:
+        identity = ledger.experiment_identity(
+            config=config,
+            offered_load=offered_load,
+            packet_length=packet_length,
+            seed=seed,
+            preset=preset,
+            mesh=mesh,
+            traffic=traffic,
+            injection_process=injection_process,
+            streaming=streaming,
+            check_invariants=check_invariants,
+            network_kwargs=network_kwargs,
+        )
+        record = ledger.lookup(identity)
+        if record is not None:
+            return ledger.replay_experiment(record)
     network = build_network(
         config,
         offered_load,
@@ -171,7 +196,7 @@ def run_experiment(
     finally:
         if obs is not None:
             obs.detach()
-    return _collect(
+    result = _collect(
         network,
         simulator,
         offered_load=offered_load,
@@ -179,6 +204,9 @@ def run_experiment(
         warmup_cycles=warmup_end,
         saturated=saturated,
     )
+    if ledger is not None and identity is not None:
+        ledger.record_experiment(identity, result, obs=obs)
+    return result
 
 
 def _warm_up(network: NetworkModel, simulator: Simulator, preset: MeasurementPreset) -> int:

@@ -27,6 +27,8 @@ import sys
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.progress import ProgressReporter
     from repro.obs.report import AttributionSummary
     from repro.obs.session import ObsSession
 
@@ -147,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         "sketches instead of storing every sample",
     )
     _add_run_flags(point)
+    _add_ledger_flags(point)
 
     obs = sub.add_parser(
         "obs",
@@ -176,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
     sat.add_argument("--packet-length", type=int, default=5)
     sat.add_argument("--low", type=float, default=0.30)
     sat.add_argument("--attribution-out", default=argparse.SUPPRESS)
+    _add_ledger_flags(sat)
 
     sub.add_parser("occupancy", help="Section 4.2 buffer-pool occupancy study")
     sub.add_parser("lead", help="Section 4.4 control-lead study")
@@ -185,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--loads", default="0.1,0.3,0.5,0.63,0.72,0.8")
     sweep.add_argument("--packet-length", type=int, default=5)
     sweep.add_argument("--attribution-out", default=argparse.SUPPRESS)
+    _add_ledger_flags(sweep)
 
     trace = sub.add_parser("trace", help="print one packet's event timeline")
     trace.add_argument("config")
@@ -214,6 +219,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="for `check`: also gate the per-model quick points "
         "(VC8, WH8, FR6 on 16x16)",
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="inspect the content-addressed run ledger "
+        "(list / show HASH / diff A B / gc; see docs/observability.md)",
+    )
+    runs.add_argument("action", choices=["list", "show", "diff", "gc"])
+    runs.add_argument(
+        "hashes",
+        nargs="*",
+        help="record identity-hash prefixes (`show` takes one, `diff` two)",
+    )
+    runs.add_argument(
+        "--store", default=".frfc/runs", help="ledger directory (default .frfc/runs)"
+    )
+    runs.add_argument(
+        "--all",
+        dest="gc_all",
+        action="store_true",
+        help="for `gc`: evict every record, not just stale/corrupt ones",
     )
 
     args = parser.parse_args(argv)
@@ -261,6 +287,14 @@ def main(argv: list[str] | None = None) -> int:
         print(result.format())
     elif args.command == "point":
         session = _obs_session(args) if wants_obs else None
+        ledger = _ledger(args)
+        progress = _progress(args, label=args.config.upper())
+        if progress is not None:
+            if session is None:
+                session = _point_obs_session(progress)
+            else:
+                session.progress = progress
+            progress.begin_point(index=1, total=1, label=f"load={args.load:.2f}")
         result = run_experiment(
             _config(args.config),
             args.load,
@@ -270,10 +304,15 @@ def main(argv: list[str] | None = None) -> int:
             streaming=args.streaming,
             check_invariants=args.check_invariants,
             obs=session,
+            ledger=ledger,
         )
+        replayed = ledger is not None and ledger.last_hit
+        if progress is not None:
+            progress.end_point(cache_hit=replayed, summary=result.summary())
         print(result.summary())
-        if session is not None:
+        if session is not None and not replayed:
             _finalize_obs(session, args, argv)
+        _report_ledger(ledger)
     elif args.command == "obs":
         session = _obs_session(args, defaults=True)
         result = run_experiment(
@@ -290,6 +329,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "attribute":
         _attribute(args, argv)
     elif args.command == "saturate":
+        ledger = _ledger(args)
+        progress = _progress(args, label=args.config.upper())
         result = find_saturation(
             _config(args.config),
             packet_length=args.packet_length,
@@ -298,7 +339,11 @@ def main(argv: list[str] | None = None) -> int:
             low=args.low,
             check_invariants=args.check_invariants,
             attribute=wants_attribution,
+            ledger=ledger,
+            progress=progress,
         )
+        if progress is not None:
+            progress.close(f"knee {result.knee:.2f}")
         print(
             f"{result.config_name}: saturation {result.saturation * 100:.0f}% of "
             f"capacity (knee {result.knee:.2f}, plateau {result.plateau:.2f})"
@@ -307,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  offered {offered:.3f} -> accepted {accepted:.3f}")
         if wants_attribution:
             _write_attribution(result.attribution, args)
+        _report_ledger(ledger)
     elif args.command == "occupancy":
         result = figures_module.section42_occupancy(
             preset=args.preset, seed=args.seed, check_invariants=args.check_invariants
@@ -319,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         print(result.format())
     elif args.command == "sweep":
         loads = [float(x) for x in args.loads.split(",")]
+        ledger = _ledger(args)
+        progress = _progress(args, label=args.config.upper())
         sweep_result = run_load_sweep(
             _config(args.config),
             loads,
@@ -327,16 +375,29 @@ def main(argv: list[str] | None = None) -> int:
             preset=args.preset,
             check_invariants=args.check_invariants,
             attribute=wants_attribution,
+            ledger=ledger,
+            progress=progress,
         )
+        if progress is not None:
+            progress.close(
+                f"{sweep_result.cache_hits()}/{len(sweep_result.telemetry)} cache hits"
+            )
         print(sweep_result.format_table())
         if wants_attribution:
             _write_attribution(sweep_result.attribution, args)
+        # Sweep health (per-point cache/drops/phase timings) goes to stderr so
+        # stdout stays byte-comparable between cold and warm ledger runs.
+        if sweep_result.telemetry:
+            sys.stderr.write(sweep_result.format_health() + "\n")
+        _report_ledger(ledger)
     elif args.command == "trace":
         print(_trace(args))
     elif args.command == "utilization":
         print(_utilization(args))
     elif args.command == "bench":
         return _bench(args)
+    elif args.command == "runs":
+        return _runs(args)
     return 0
 
 
@@ -359,6 +420,100 @@ def _add_run_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--bench-out", default=suppress)
     subparser.add_argument("--sample-every", type=int, default=suppress)
     subparser.add_argument("--event-capacity", type=int, default=suppress)
+
+
+def _add_ledger_flags(subparser: argparse.ArgumentParser) -> None:
+    """`--ledger [DIR]` and `--progress-out` for point/sweep/saturate."""
+    subparser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=".frfc/runs",
+        default=None,
+        metavar="DIR",
+        help="consult/record the content-addressed run ledger before "
+        "simulating (verified hits replay byte-identically; default store "
+        ".frfc/runs)",
+    )
+    subparser.add_argument(
+        "--progress-out",
+        default=None,
+        metavar="JSONL",
+        help="append machine-readable heartbeat telemetry here (stderr gets "
+        "the human lines either way once progress is on)",
+    )
+
+
+def _ledger(args: argparse.Namespace) -> "RunLedger | None":
+    store = getattr(args, "ledger", None)
+    if store is None:
+        return None
+    from repro.obs.ledger import RunLedger
+
+    return RunLedger(store)
+
+
+def _progress(args: argparse.Namespace, label: str) -> "ProgressReporter | None":
+    """A heartbeat reporter when --progress-out or --ledger asked for one."""
+    jsonl_out = getattr(args, "progress_out", None)
+    if jsonl_out is None and getattr(args, "ledger", None) is None:
+        return None
+    from repro.obs.progress import ProgressReporter
+
+    return ProgressReporter(jsonl_out=jsonl_out or "", label=label)
+
+
+def _point_obs_session(progress: "ProgressReporter") -> "ObsSession":
+    """A minimal session that only carries the progress hook for `point`."""
+    from repro.obs.session import ObsSession
+
+    return ObsSession(manifest_out="", bench_out="", progress=progress)
+
+
+def _report_ledger(ledger: "RunLedger | None") -> None:
+    """One stderr line of cache telemetry (stdout stays byte-comparable)."""
+    if ledger is not None and ledger.consulted:
+        sys.stderr.write(ledger.summary() + "\n")
+
+
+def _runs(args: argparse.Namespace) -> int:
+    """Run `frfc runs`: list / show / diff / gc over one ledger store."""
+    from repro.obs.ledger import (
+        LedgerError,
+        RunLedger,
+        describe_record,
+        format_run_diff,
+    )
+
+    ledger = RunLedger(args.store)
+    try:
+        if args.action == "list":
+            records, corrupt = ledger.scan()
+            if not records and not corrupt:
+                print(f"no run records in {ledger.root}")
+                return 0
+            for record in records:
+                print(describe_record(record))
+            for path in corrupt:
+                print(f"{path.stem[:12]}  CORRUPT     (refusing to read {path.name})")
+        elif args.action == "show":
+            if len(args.hashes) != 1:
+                raise SystemExit("`frfc runs show` takes exactly one record hash")
+            record = ledger.load(ledger.resolve(args.hashes[0]))
+            import json as json_module
+
+            print(json_module.dumps(record, indent=2, sort_keys=True))
+        elif args.action == "diff":
+            if len(args.hashes) != 2:
+                raise SystemExit("`frfc runs diff` takes exactly two record hashes")
+            record_a = ledger.load(ledger.resolve(args.hashes[0]))
+            record_b = ledger.load(ledger.resolve(args.hashes[1]))
+            print(format_run_diff(record_a, record_b))
+        elif args.action == "gc":
+            kept, evicted = ledger.gc(wipe_all=args.gc_all)
+            print(f"{ledger.root}: kept {kept}, evicted {evicted}")
+    except LedgerError as error:
+        raise SystemExit(f"frfc runs: {error}")
+    return 0
 
 
 def _checker(args: argparse.Namespace) -> InvariantChecker | None:

@@ -23,6 +23,8 @@ from repro.stats.warmup import WarmupDetector
 from repro.topology.mesh import Mesh2D
 
 if TYPE_CHECKING:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.progress import ProgressReporter
     from repro.obs.report import AttributionSummary
     from repro.obs.session import ObsSession
 
@@ -55,6 +57,7 @@ def measure_throughput(
     mesh: Mesh2D | None = None,
     check_invariants: bool = False,
     obs: Optional["ObsSession"] = None,
+    ledger: Optional["RunLedger"] = None,
     **kwargs: Any,
 ) -> float:
     """Accepted load (fraction of capacity) at one offered load.
@@ -63,9 +66,26 @@ def measure_throughput(
     no packet-sample drain, so oversaturated loads cost the same as light
     ones.  With ``obs`` the probe attaches for the run (the caller
     finalizes artifacts afterwards), same contract as ``run_experiment``.
+    With ``ledger`` the probe is memoised in the content-addressed run
+    ledger (``kind: throughput``), same contract as ``run_experiment``.
     """
     preset = get_preset(preset)
     mesh = mesh or Mesh2D(8, 8)
+    identity = None
+    if ledger is not None:
+        identity = ledger.throughput_identity(
+            config=config,
+            offered_load=offered_load,
+            packet_length=packet_length,
+            seed=seed,
+            preset=preset,
+            mesh=mesh,
+            check_invariants=check_invariants,
+            network_kwargs=kwargs,
+        )
+        record = ledger.lookup(identity)
+        if record is not None:
+            return ledger.replay_throughput(record)
     network = build_network(
         config, offered_load, packet_length=packet_length, seed=seed, mesh=mesh, **kwargs
     )
@@ -95,7 +115,12 @@ def measure_throughput(
     finally:
         if obs is not None:
             obs.detach()
-    return network.throughput.flits_per_node_per_cycle / mesh.capacity_flits_per_node()
+    accepted = (
+        network.throughput.flits_per_node_per_cycle / mesh.capacity_flits_per_node()
+    )
+    if ledger is not None and identity is not None:
+        ledger.record_throughput(identity, accepted, obs=obs)
+    return accepted
 
 
 def find_saturation(
@@ -108,6 +133,8 @@ def find_saturation(
     resolution: float = 0.02,
     delivery_tolerance: float = 0.03,
     attribute: bool = False,
+    ledger: Optional["RunLedger"] = None,
+    progress: Optional["ProgressReporter"] = None,
     **kwargs: Any,
 ) -> SaturationResult:
     """Bisect for the saturation knee of one configuration.
@@ -120,6 +147,11 @@ def find_saturation(
     With ``attribute`` every probe runs with a latency attributor attached
     and the result carries one attribution summary per probe -- the
     component mix on the way into saturation.
+
+    With ``ledger`` each probe consults the content-addressed run ledger
+    (``kind: throughput``) before simulating, so re-running a search -- or
+    bisecting near a previously probed region -- replays verified recorded
+    probes; ``progress`` brackets each probe in the heartbeat stream.
     """
     probes: list[tuple[float, float]] = []
     summaries: list[tuple[float, "AttributionSummary"]] = []
@@ -130,6 +162,10 @@ def find_saturation(
             from repro.harness.sweep import _attribution_session
 
             session = _attribution_session()
+        if progress is not None:
+            progress.begin_point(
+                index=len(probes) + 1, total=0, label=f"probe load={load:.3f}"
+            )
         accepted = measure_throughput(
             config,
             load,
@@ -137,13 +173,22 @@ def find_saturation(
             seed=seed,
             preset=preset,
             obs=session,
+            ledger=ledger,
             **kwargs,
         )
+        if progress is not None:
+            progress.end_point(
+                cache_hit=ledger is not None and ledger.last_hit,
+                summary=f"accepted={accepted:.3f}",
+            )
         probes.append((load, accepted))
         if session is not None:
-            summary = session.attribution_summary(
-                label=f"{_config_name(config)} load={load:.2f}"
-            )
+            if ledger is not None and ledger.last_hit:
+                summary = ledger.last_attribution()
+            else:
+                summary = session.attribution_summary(
+                    label=f"{_config_name(config)} load={load:.2f}"
+                )
             if summary is not None:
                 summaries.append((load, summary))
         return accepted >= load * (1.0 - delivery_tolerance)

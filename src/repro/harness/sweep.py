@@ -3,14 +3,32 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.harness.experiment import AnyConfig, ExperimentResult, run_experiment
 from repro.harness.presets import MeasurementPreset
 
 if TYPE_CHECKING:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.progress import ProgressReporter
     from repro.obs.report import AttributionSummary
     from repro.obs.session import ObsSession
+
+
+@dataclass
+class PointTelemetry:
+    """Per-point health facts a multi-point run must not hide.
+
+    ``events_dropped`` > 0 means an observer's capacity bound truncated its
+    stream for that point; ``profile`` is the point's SimProfiler report
+    (phase wall times) when one ran; ``cache_hit`` marks points replayed
+    from the run ledger instead of simulated.
+    """
+
+    offered_load: float
+    cache_hit: bool = False
+    events_dropped: int = 0
+    profile: Optional[dict[str, Any]] = None
 
 
 @dataclass
@@ -23,6 +41,9 @@ class LoadSweepResult:
     #: One attribution rollup per point (populated when ``attribute`` was
     #: requested) -- where each added cycle of latency goes as load rises.
     attribution: list["AttributionSummary"] = field(default_factory=list)
+    #: One health record per point (cache hits, dropped events, phase
+    #: timings); populated whenever the sweep ran observed or ledgered.
+    telemetry: list[PointTelemetry] = field(default_factory=list)
 
     def offered_loads(self) -> list[float]:
         return [point.offered_load for point in self.points]
@@ -55,6 +76,43 @@ class LoadSweepResult:
             lines.append(f"{offered:>8.2f} {accepted:>9.3f} {latency:>9.1f}")
         return "\n".join(lines)
 
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.telemetry if record.cache_hit)
+
+    def events_dropped(self) -> int:
+        """Total events lost across every point -- zero means lossless."""
+        return sum(record.events_dropped for record in self.telemetry)
+
+    def format_health(self) -> str:
+        """Per-point source (cache/simulated), drops, and phase timings.
+
+        The sweep-level view of what used to be buried in per-point
+        manifests: a lossy or slow point is visible at a glance.
+        """
+        lines = [
+            f"{self.config_name} sweep health "
+            f"({self.cache_hits()}/{len(self.telemetry)} cache hits, "
+            f"{self.events_dropped()} events dropped)",
+            f"{'offered':>8} {'source':>10} {'dropped':>8} {'c/s':>9}  phases",
+        ]
+        for record in self.telemetry:
+            source = "cache" if record.cache_hit else "simulated"
+            rate = ""
+            phases = ""
+            if record.profile:
+                rate = f"{record.profile.get('cycles_per_second', 0.0):.0f}"
+                phase_map = record.profile.get("phases", {})
+                phases = " ".join(
+                    f"{name}={phase_map[name]['wall_seconds']:.2f}s"
+                    for name in ("warmup", "sample", "drain")
+                    if name in phase_map
+                )
+            lines.append(
+                f"{record.offered_load:>8.2f} {source:>10} "
+                f"{record.events_dropped:>8d} {rate:>9}  {phases}"
+            )
+        return "\n".join(lines)
+
 
 def run_load_sweep(
     config: AnyConfig,
@@ -64,6 +122,8 @@ def run_load_sweep(
     preset: str | MeasurementPreset = "standard",
     stop_when_saturated: bool = True,
     attribute: bool = False,
+    ledger: Optional["RunLedger"] = None,
+    progress: Optional["ProgressReporter"] = None,
     **kwargs: Any,
 ) -> LoadSweepResult:
     """Measure one configuration across ascending offered loads.
@@ -75,10 +135,28 @@ def run_load_sweep(
     With ``attribute`` each point runs with a latency attributor attached
     and the result carries one attribution summary per point, so the sweep
     shows which component absorbs the added latency as load rises.
+
+    With ``ledger`` each point consults the content-addressed run ledger
+    first: verified hits replay recorded results byte-identically (zero
+    simulation), misses simulate and record -- an interrupted sweep rerun
+    against the same store resumes exactly where it stopped.  ``progress``
+    attaches a heartbeat reporter to every simulated point and brackets
+    points for ETA accounting; both leave results bit-identical to a bare
+    sweep.
     """
     result = LoadSweepResult(config_name="", packet_length=packet_length)
-    for load in sorted(loads):
-        session = _attribution_session() if attribute else None
+    ordered = sorted(loads)
+    observed = attribute or ledger is not None or progress is not None
+    for index, load in enumerate(ordered):
+        session = (
+            _point_session(attribute=attribute, progress=progress)
+            if observed
+            else None
+        )
+        if progress is not None:
+            progress.begin_point(
+                index=index + 1, total=len(ordered), label=f"load={load:.2f}"
+            )
         point = run_experiment(
             config,
             load,
@@ -86,19 +164,56 @@ def run_load_sweep(
             seed=seed,
             preset=preset,
             obs=session,
+            ledger=ledger,
             **kwargs,
         )
+        hit = ledger is not None and ledger.last_hit
         result.config_name = point.config_name
         result.points.append(point)
-        if session is not None:
-            summary = session.attribution_summary(
-                label=f"{point.config_name} load={load:.2f}"
+        if observed:
+            result.telemetry.append(_point_telemetry(load, hit, session, ledger))
+        if attribute:
+            summary = (
+                ledger.last_attribution()
+                if hit and ledger is not None
+                else session.attribution_summary(
+                    label=f"{point.config_name} load={load:.2f}"
+                )
+                if session is not None
+                else None
             )
             if summary is not None:
                 result.attribution.append(summary)
+        if progress is not None:
+            progress.end_point(cache_hit=hit, summary=point.summary())
         if stop_when_saturated and point.saturated:
             break
     return result
+
+
+def _point_telemetry(
+    load: float,
+    hit: bool,
+    session: "ObsSession | None",
+    ledger: "RunLedger | None",
+) -> PointTelemetry:
+    """Health facts for one point, from the ledger record on a hit and the
+    live session on a miss."""
+    if hit and ledger is not None:
+        return PointTelemetry(
+            offered_load=load,
+            cache_hit=True,
+            events_dropped=ledger.last_events_dropped(),
+            profile=ledger.last_profile(),
+        )
+    return PointTelemetry(
+        offered_load=load,
+        cache_hit=False,
+        events_dropped=session.events_dropped if session is not None else 0,
+        profile=session.profiler.report()
+        if session is not None and session.profiler is not None
+        else None,
+    )
 
 
 def _attribution_session() -> "ObsSession":
@@ -106,3 +221,19 @@ def _attribution_session() -> "ObsSession":
     from repro.obs.session import ObsSession
 
     return ObsSession(attribution_out="", manifest_out="")
+
+
+def _point_session(
+    attribute: bool = False, progress: Optional["ProgressReporter"] = None
+) -> "ObsSession":
+    """The per-point session of an observed sweep: profiled, artifact-free,
+    attributing when asked, forwarding heartbeats when a reporter is given."""
+    from repro.obs.session import ObsSession
+
+    return ObsSession(
+        attribution_out="" if attribute else None,
+        manifest_out="",
+        bench_out="",
+        profile=True,
+        progress=progress,
+    )

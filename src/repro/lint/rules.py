@@ -1,4 +1,4 @@
-"""The frfc-lint rules (D001-D013).
+"""The frfc-lint rules (D001-D014).
 
 These are *simulator-specific* checks: each one fences off a class of bug
 that has silently corrupted cycle-accurate models in practice.
@@ -66,6 +66,12 @@ D013   No digest-reaching unordered iteration: iterating set-typed
        bans bare set *expressions*; D013 follows set-typed values and
        identity keys, whose order leaks the process hash seed into
        simulated state or exported artifacts.
+D014   No direct truncating writes (``open(..., "w")``/``"x"`` or
+       ``Path.write_text``/``write_bytes``) in ``src/repro`` outside
+       ``obs/exporters.py``, ``obs/ledger.py``, and the CLI front-ends.
+       Result-bearing files must flow through the atomic (temp + rename),
+       hash-verified writers so a crashed run can never leave a torn
+       artifact that a later ledger lookup would trust.
 =====  ======================================================================
 
 Any rule can be silenced on a single line with ``# frfc-lint: disable=Dxxx``
@@ -112,6 +118,10 @@ ANNOTATED_SUBPACKAGES = frozenset({"core", "sim", "baselines"})
 #: Path suffixes (as ``/``-joined parts) of the CLI front-ends D008 exempts:
 #: the only modules in the package whose job is writing to stdout.
 CLI_MODULE_SUFFIXES = ("harness/runner.py",)
+
+#: Modules allowed to open files for (truncating) writing: the atomic-writer
+#: home, the ledger built on it, and the CLI front-ends (D014 exempts them).
+ATOMIC_WRITER_SUFFIXES = ("obs/exporters.py", "obs/ledger.py") + CLI_MODULE_SUFFIXES
 
 
 def _dotted_name(node: ast.expr) -> str | None:
@@ -572,6 +582,62 @@ class NoUnorderedIterationToDigest(Rule):
             )
 
 
+class ResultWritesAreAtomic(Rule):
+    """D014: result-bearing writes flow through the atomic writers."""
+
+    rule_id = "D014"
+    summary = "direct truncating write; route through the atomic hash-verified writers"
+
+    #: ``Path`` write methods that truncate in place.
+    PATH_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        parts = Path(path).parts
+        if "repro" not in parts:
+            return  # tests, tools, and scripts write freely
+        posix = Path(path).as_posix()
+        if any(posix.endswith(suffix) for suffix in ATOMIC_WRITER_SUFFIXES):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                mode = self._open_mode(node)
+                if mode is not None and ("w" in mode or "x" in mode):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"open(..., {mode!r}) truncates in place; write results "
+                        "through repro.obs.exporters.atomic_write_text/json so "
+                        "readers never see a torn file",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.PATH_WRITE_METHODS
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"`.{node.func.attr}()` truncates in place; write results "
+                    "through repro.obs.exporters.atomic_write_text/json so "
+                    "readers never see a torn file",
+                )
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        """The literal mode of an ``open`` call, or None when read/unknown."""
+        mode: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+
 #: Every rule the engine runs, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     NoAmbientNondeterminism(),
@@ -587,4 +653,5 @@ ALL_RULES: tuple[Rule, ...] = (
     NoSharedMutableState(),
     RngProvenanceTraceable(),
     NoUnorderedIterationToDigest(),
+    ResultWritesAreAtomic(),
 )

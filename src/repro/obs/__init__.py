@@ -42,9 +42,19 @@ from repro.obs.events import (
     EventCollector,
     NetworkEvent,
 )
+from repro.obs.ledger import (
+    DEFAULT_STORE,
+    RECORD_SCHEMA,
+    LedgerCorruptionError,
+    LedgerError,
+    RunLedger,
+    describe_record,
+    format_run_diff,
+)
 from repro.obs.metrics import Counter, Gauge, CycleHistogram, MetricsRegistry
 from repro.obs.probe import NetworkProbe
 from repro.obs.profile import SimProfiler
+from repro.obs.progress import PROGRESS_SCHEMA, ProgressReporter
 from repro.obs.report import (
     ATTRIBUTION_SCHEMA,
     AttributionSummary,
@@ -63,21 +73,30 @@ __all__ = [
     "ComponentStats",
     "Counter",
     "CycleHistogram",
+    "DEFAULT_STORE",
     "EVENT_KINDS",
     "EventBus",
     "EventCollector",
     "Gauge",
     "LatencyAttributor",
+    "LedgerCorruptionError",
+    "LedgerError",
     "MetricsRegistry",
     "NetworkEvent",
     "NetworkProbe",
     "ObsSession",
+    "PROGRESS_SCHEMA",
     "PacketAttribution",
+    "ProgressReporter",
+    "RECORD_SCHEMA",
+    "RunLedger",
     "Segment",
     "SimProfiler",
     "TraceEvent",
     "TraceLog",
+    "describe_record",
     "format_attribution_table",
+    "format_run_diff",
     "validate_attribution",
     "write_attribution_json",
 ]

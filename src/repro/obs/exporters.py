@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
@@ -24,6 +25,26 @@ from repro.obs.events import (
 
 if TYPE_CHECKING:
     from repro.obs.attribution import PacketAttribution
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically: temp file in the same directory,
+    then ``os.replace``.  Readers never observe a partially written file, which
+    is what lets the run ledger treat every on-disk record as either absent or
+    complete (lint rule D014 funnels result-bearing writes through here).
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def atomic_write_json(path: str | Path, payload: Mapping[str, Any], indent: int = 2) -> None:
+    """Atomically write ``payload`` as sorted-key JSON with a trailing newline."""
+    atomic_write_text(path, json.dumps(payload, indent=indent, sort_keys=True) + "\n")
 
 
 def write_events_jsonl(events: Iterable[NetworkEvent], path: str | Path) -> int:

@@ -13,10 +13,11 @@ isolation prover forbids), and no wall-clock timestamp is recorded
 from __future__ import annotations
 
 import dataclasses
-import json
 import subprocess
 from pathlib import Path
 from typing import Any, Mapping
+
+from repro.obs.exporters import atomic_write_json
 
 MANIFEST_SCHEMA = "frfc-obs-manifest/1"
 
@@ -88,10 +89,8 @@ def build_manifest(
 
 
 def write_manifest(manifest: Mapping[str, Any], path: str | Path) -> None:
-    """Write a manifest as stably ordered, human-readable JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a manifest as stably ordered, human-readable JSON (atomic)."""
+    atomic_write_json(path, manifest)
 
 
 def _config_dict(config: Any) -> dict[str, Any]:

@@ -1,0 +1,187 @@
+"""Live progress telemetry for multi-point harness runs.
+
+A :class:`ProgressReporter` is a :class:`~repro.sim.kernel.CycleHook`: the
+simulator calls ``check`` after every cycle, and every ``heartbeat_cycles``
+cycles the reporter emits one human line to stderr and one machine-readable
+JSON object to ``progress.jsonl`` -- phase, point i/N, simulated cycles,
+cycles/sec, and an ETA extrapolated from completed points.  The sweep
+harness brackets each point with ``begin_point``/``end_point`` (recording
+whether the point was a ledger cache hit or freshly simulated).
+
+This module is the *only* place besides :mod:`repro.obs.profile` that reads
+the wall clock (line-scoped D001 suppressions below), and nothing it
+measures flows back into simulated state or any digest: the reporter never
+touches the network object its hook receives, which is how the attached/
+detached digest property tests can demand bit-identical results with and
+without it.  The JSONL stream is append-only (interrupted sweeps resume by
+appending), and wall-clock values appear only in this stream -- never in a
+ledger identity or result digest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+from repro.sim.kernel import SteppableNetwork
+
+#: Schema tag carried by every progress.jsonl line.
+PROGRESS_SCHEMA = "frfc-progress/1"
+
+
+def _now() -> float:
+    return time.perf_counter()  # frfc-lint: disable=D001
+
+
+class ProgressReporter:
+    """Heartbeat telemetry: stderr lines plus an append-only JSONL stream."""
+
+    def __init__(
+        self,
+        jsonl_out: str = "",
+        stream: Optional[TextIO] = None,
+        heartbeat_cycles: int = 2000,
+        label: str = "",
+    ) -> None:
+        self.jsonl_out = jsonl_out
+        self.stream = stream if stream is not None else sys.stderr
+        self.heartbeat_cycles = max(1, heartbeat_cycles)
+        self.label = label
+        self.phase = ""
+        self.point_index = 0
+        self.point_total = 0
+        self.point_label = ""
+        self.points_simulated = 0
+        self.points_hit = 0
+        self._point_cycles = 0
+        self._since_heartbeat = 0
+        self._point_start = 0.0
+        self._completed_walls: list[float] = []
+
+    # -- CycleHook protocol --------------------------------------------------
+
+    def check(self, network: SteppableNetwork, cycle: int) -> None:
+        """After-cycle hook; pure observer -- never touches ``network``."""
+        self._point_cycles += 1
+        self._since_heartbeat += 1
+        if self._since_heartbeat >= self.heartbeat_cycles:
+            self._since_heartbeat = 0
+            self._emit("heartbeat", cycle=cycle)
+
+    # -- harness bracketing --------------------------------------------------
+
+    def enter_phase(self, name: str) -> None:
+        """Label the following cycles ("warmup", "sample", "drain")."""
+        self.phase = name
+
+    def begin_point(self, index: int, total: int, label: str) -> None:
+        """A sweep point is starting (1-based ``index`` of ``total``)."""
+        self.point_index = index
+        self.point_total = total
+        self.point_label = label
+        self.phase = ""
+        self._point_cycles = 0
+        self._since_heartbeat = 0
+        self._point_start = _now()
+        self._emit("begin_point")
+
+    def end_point(self, cache_hit: bool, summary: str = "") -> None:
+        """The current point finished (replayed from the ledger or simulated)."""
+        elapsed = _now() - self._point_start
+        if cache_hit:
+            self.points_hit += 1
+        else:
+            self.points_simulated += 1
+            self._completed_walls.append(elapsed)
+        self._emit(
+            "end_point",
+            cache_hit=cache_hit,
+            wall_seconds=round(elapsed, 3),
+            summary=summary,
+        )
+
+    def close(self, summary: str = "") -> None:
+        """Emit the final run summary line."""
+        self._emit("done", summary=summary)
+
+    # -- emission ------------------------------------------------------------
+
+    def _eta_seconds(self) -> Optional[float]:
+        """Mean wall time of completed simulated points x points remaining."""
+        if not self._completed_walls or not self.point_total:
+            return None
+        remaining = self.point_total - self.point_index
+        if remaining < 0:
+            remaining = 0
+        mean_wall = sum(self._completed_walls) / len(self._completed_walls)
+        current = _now() - self._point_start
+        this_point = mean_wall - current
+        if this_point < 0.0:
+            this_point = 0.0
+        return remaining * mean_wall + this_point
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        elapsed = _now() - self._point_start
+        payload: dict[str, Any] = {
+            "schema": PROGRESS_SCHEMA,
+            "event": event,
+            "label": self.label,
+            "point": self.point_index,
+            "total": self.point_total,
+            "point_label": self.point_label,
+            "phase": self.phase,
+            "point_cycles": self._point_cycles,
+            "points_simulated": self.points_simulated,
+            "points_hit": self.points_hit,
+        }
+        if event == "heartbeat":
+            rate = self._point_cycles / elapsed if elapsed > 0 else 0.0
+            payload["cycles_per_second"] = round(rate, 1)
+            eta = self._eta_seconds()
+            if eta is not None:
+                payload["eta_seconds"] = round(eta, 1)
+        payload.update(fields)
+        self._write_line(payload)
+
+    def _render(self, payload: dict[str, Any]) -> str:
+        bits = ["[frfc]"]
+        if self.label:
+            bits.append(self.label)
+        if self.point_total:
+            bits.append(f"point {self.point_index}/{self.point_total}")
+        if self.point_label:
+            bits.append(self.point_label)
+        event = payload["event"]
+        if event == "heartbeat":
+            if self.phase:
+                bits.append(f"phase={self.phase}")
+            bits.append(f"cycle={self._point_cycles}")
+            rate = payload.get("cycles_per_second")
+            if rate:
+                bits.append(f"{rate:.0f} c/s")
+            eta = payload.get("eta_seconds")
+            if eta is not None:
+                bits.append(f"eta={eta:.0f}s")
+        elif event == "begin_point":
+            bits.append("start")
+        elif event == "end_point":
+            bits.append("cache-hit" if payload["cache_hit"] else "simulated")
+            bits.append(f"({payload['wall_seconds']:.2f}s)")
+            if payload.get("summary"):
+                bits.append(str(payload["summary"]))
+        elif event == "done":
+            bits.append("done")
+            if payload.get("summary"):
+                bits.append(str(payload["summary"]))
+        return " ".join(bits)
+
+    def _write_line(self, payload: dict[str, Any]) -> None:
+        self.stream.write(self._render(payload) + "\n")
+        self.stream.flush()
+        if self.jsonl_out:
+            # Append-only on purpose: a resumed sweep extends the stream, and
+            # D014 reserves truncating writes for the atomic writers.
+            with open(self.jsonl_out, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")

@@ -15,13 +15,13 @@ an artifact is loaded back.
 
 from __future__ import annotations
 
-import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs.attribution import COMPONENTS, LatencyAttributor, PacketAttribution
+from repro.obs.exporters import atomic_write_json
 
 #: Schema tag carried by every attribution JSON artifact.
 ATTRIBUTION_SCHEMA = "frfc-attribution/1"
@@ -121,6 +121,30 @@ class AttributionSummary:
             records, label=label, unattributed=attributor.unattributed
         )
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AttributionSummary":
+        """Rebuild a summary from its ``as_dict`` form (ledger replay, diff)."""
+        components = {
+            name: ComponentStats(
+                mean=stats["mean"],
+                p50=stats["p50"],
+                p95=stats["p95"],
+                maximum=stats["max"],
+                share=stats["share"],
+            )
+            for name, stats in payload["components"].items()
+        }
+        return cls(
+            label=payload["label"],
+            model=payload["model"],
+            packets=payload["packets"],
+            unattributed=payload["unattributed"],
+            mean_latency=payload["mean_latency"],
+            mean_hops=payload["mean_hops"],
+            denies=payload["denies"],
+            components=components,
+        )
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "label": self.label,
@@ -204,9 +228,7 @@ def write_attribution_json(
 ) -> dict[str, Any]:
     """Write the JSON artifact; returns the payload that was written."""
     report = build_attribution_report(summaries, context)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, report)
     return report
 
 

@@ -39,6 +39,7 @@ from repro.obs.profile import SimProfiler
 from repro.obs.report import AttributionSummary, write_attribution_json
 
 if TYPE_CHECKING:
+    from repro.obs.progress import ProgressReporter
     from repro.sim.kernel import CycleHook
     from repro.sim.netbase import NetworkModel
 
@@ -57,6 +58,7 @@ class ObsSession:
         bench_out: str = "BENCH_obs.json",
         sample_every: int = 100,
         capacity: int = 1_000_000,
+        progress: "ProgressReporter | None" = None,
     ) -> None:
         self.events_out = events_out
         self.trace_out = trace_out
@@ -76,18 +78,34 @@ class ObsSession:
         if metrics_out:
             self.registry = MetricsRegistry(sample_every)
         self.profiler: SimProfiler | None = SimProfiler() if profile else None
+        self.progress = progress
         self._probe: NetworkProbe | None = None
         self._network: "NetworkModel | None" = None
 
     @property
     def observers(self) -> tuple["CycleHook", ...]:
-        """After-cycle hooks to hand the simulator (the metrics sampler)."""
-        return (self.registry,) if self.registry is not None else ()
+        """After-cycle hooks to hand the simulator (metrics, progress)."""
+        hooks: list["CycleHook"] = []
+        if self.registry is not None:
+            hooks.append(self.registry)
+        if self.progress is not None:
+            hooks.append(self.progress)
+        return tuple(hooks)
+
+    @property
+    def events_dropped(self) -> int:
+        """Events lost to capacity bounds so far (collector + attributor)."""
+        dropped = self.collector.dropped if self.collector is not None else 0
+        if self.attributor is not None:
+            dropped += self.attributor.records_dropped
+        return dropped
 
     def enter_phase(self, name: str) -> None:
-        """Label the following cycles for the profiler ("warmup", ...)."""
+        """Label the following cycles for the profiler and progress stream."""
         if self.profiler is not None:
             self.profiler.enter_phase(name)
+        if self.progress is not None:
+            self.progress.enter_phase(name)
 
     def note_window(self, start: int, end: int) -> None:
         """Record the measurement window (attribution separates warmup)."""

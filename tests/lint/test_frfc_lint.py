@@ -651,6 +651,74 @@ class TestD008NoPrintInSimulator:
         assert findings == []
 
 
+class TestD014ResultWritesAreAtomic:
+    def test_truncating_open_flagged(self):
+        findings = lint(
+            """
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            path="src/repro/obs/manifest.py",
+        )
+        assert rule_ids(findings) == ["D014"]
+        assert findings[0].line == 3  # the open() call itself
+        assert "atomic" in findings[0].message
+
+    def test_exclusive_and_keyword_modes_flagged(self):
+        assert rule_ids(
+            lint("open(p, 'x')\n", path="src/repro/obs/report.py")
+        ) == ["D014"]
+        assert rule_ids(
+            lint("open(p, mode='w')\n", path="src/repro/obs/report.py")
+        ) == ["D014"]
+
+    def test_path_write_methods_flagged(self):
+        findings = lint(
+            """
+            def save(path, text, blob):
+                path.write_text(text)
+                path.write_bytes(blob)
+            """,
+            path="src/repro/stats/fake.py",
+        )
+        assert rule_ids(findings) == ["D014", "D014"]
+
+    def test_reads_and_appends_clean(self):
+        findings = lint(
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def extend(path, line):
+                # Append-only streams (progress.jsonl) resume, not truncate.
+                with open(path, "a") as handle:
+                    handle.write(line)
+            """,
+            path="src/repro/obs/progress.py",
+        )
+        assert findings == []
+
+    def test_atomic_writers_and_cli_exempt(self):
+        snippet = "open(p, 'w')\n"
+        assert lint(snippet, path="src/repro/obs/exporters.py") == []
+        assert lint(snippet, path="src/repro/obs/ledger.py") == []
+        assert lint(snippet, path="src/repro/harness/runner.py") == []
+        assert lint(snippet, path="tools/bench_gate.py") == []
+
+    def test_dynamic_mode_not_flagged(self):
+        # A non-literal mode cannot be proven truncating; stay quiet.
+        assert lint("open(p, mode)\n", path="src/repro/obs/fake.py") == []
+
+    def test_suppressible(self):
+        findings = lint(
+            "open(p, 'w')  # frfc-lint: disable=D014\n",
+            path="src/repro/obs/manifest.py",
+        )
+        assert findings == []
+
+
 class TestEngine:
     def test_disable_all(self):
         findings = lint("import random  # frfc-lint: disable=all\n")
@@ -706,6 +774,7 @@ class TestEngine:
             "D011",
             "D012",
             "D013",
+            "D014",
         ]
         assert all(rule.summary for rule in ALL_RULES)
 

@@ -57,6 +57,7 @@ def _paths(gate, tmp_path, monkeypatch, cps: float):
         "--baseline", str(tmp_path / "BENCH_5.json"),
         "--models-baseline", str(tmp_path / "BENCH_models.json"),
         "--trajectory", str(tmp_path / "BENCH_trajectory.jsonl"),
+        "--ledger", str(tmp_path / "runs"),
     ]
 
 
@@ -78,6 +79,31 @@ def test_record_writes_baseline_and_appends_trajectory(gate, tmp_path, monkeypat
     assert "model" not in entry  # the primary point carries no model tag
     tagged = [json.loads(line) for line in lines if "model" in json.loads(line)]
     assert {e["model"] for e in tagged} == set(gate.MODEL_WORKLOADS)
+
+
+def test_record_drops_bench_records_into_the_ledger(gate, tmp_path, monkeypatch, capsys):
+    from repro.obs.ledger import RunLedger
+
+    flags = _paths(gate, tmp_path, monkeypatch, cps=250.0)
+    assert gate.main(flags + ["record"]) == 0
+    ledger = RunLedger(tmp_path / "runs")
+    records, corrupt = ledger.scan()
+    assert not corrupt
+    assert len(records) == 1 + len(gate.MODEL_WORKLOADS)
+    assert {r["kind"] for r in records} == {"bench"}
+    labels = {r["identity"]["workload"]["label"] for r in records}
+    assert labels == {"FR6"} | set(gate.MODEL_WORKLOADS)
+    for record in records:
+        # Deterministic outputs in the result block, wall clock in profile.
+        assert set(record["result"]) == {"cycles", "packets_measured"}
+        assert record["profile"]["cycles_per_second"] == 250.0
+        ledger.verify(record, record["identity_hash"], "test")
+
+
+def test_record_no_ledger_skips_recording(gate, tmp_path, monkeypatch, capsys):
+    flags = _paths(gate, tmp_path, monkeypatch, cps=250.0)
+    assert gate.main(flags + ["--no-ledger", "record"]) == 0
+    assert not (tmp_path / "runs").exists()
 
 
 def test_record_writes_models_baseline(gate, tmp_path, monkeypatch, capsys):

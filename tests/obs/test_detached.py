@@ -97,3 +97,27 @@ def test_attached_probe_is_a_pure_observer(build) -> None:
     diff = baseline.diff_fields(digest)
     assert not diff, f"attached probe perturbed the run: {diff}"
     assert baseline.hexdigest() == digest.hexdigest()
+
+
+@pytest.mark.parametrize("build", BUILDERS)
+def test_progress_hook_is_digest_neutral(build) -> None:
+    """A ProgressReporter riding the cycle-hook slot (as the ledgered sweep
+    attaches it) must leave the run digest-identical to an unobserved one."""
+    import io
+
+    from repro.obs.progress import ProgressReporter
+
+    baseline = _run(build(), "never-observed")
+
+    network = build()
+    reporter = ProgressReporter(stream=io.StringIO(), heartbeat_cycles=50)
+    reporter.begin_point(index=1, total=1, label="digest-check")
+    network.set_measure_window(0, CYCLES)
+    Simulator(network, observers=(reporter,)).step(CYCLES)
+    reporter.end_point(cache_hit=False)
+    digest = digest_network(network, CYCLES, "progress-observed")
+
+    assert reporter._point_cycles == CYCLES  # the hook really ran
+    diff = baseline.diff_fields(digest)
+    assert not diff, f"progress reporter perturbed the run: {diff}"
+    assert baseline.hexdigest() == digest.hexdigest()

@@ -1,0 +1,295 @@
+"""The run ledger itself: digests, verification, corruption, gc.
+
+These are pure store-level tests -- no simulation.  Records are built from
+synthetic :class:`ExperimentResult` values so each test runs in
+milliseconds; the harness-level cache-hit digest properties (real
+simulations replayed byte-identically) live in
+``tests/harness/test_ledger_harness.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import FR6, FR13
+from repro.baselines.vc.config import VC8
+from repro.harness.experiment import ExperimentResult
+from repro.harness.presets import get_preset
+from repro.obs.ledger import (
+    LedgerCorruptionError,
+    LedgerError,
+    RunLedger,
+    canonical_json,
+    content_digest,
+    describe_record,
+    format_run_diff,
+)
+from repro.topology.mesh import Mesh2D
+
+
+def _result(load: float = 0.2, latency: float = 30.5) -> ExperimentResult:
+    return ExperimentResult(
+        config_name="FR6",
+        offered_load=load,
+        injection_rate=load / 10,
+        packet_length=5,
+        seed=1,
+        accepted_load=load,
+        mean_latency=latency,
+        latency_ci_halfwidth=0.5,
+        p95_latency=48.0,
+        packets_measured=1507,
+        cycles_simulated=1848,
+        warmup_cycles=600,
+        saturated=False,
+        extras={"throughput_flits": 0.25},
+    )
+
+
+def _identity(ledger: RunLedger, config=FR6, load: float = 0.2, seed: int = 1,
+              preset: str = "quick", **kwargs):
+    return ledger.experiment_identity(
+        config=config,
+        offered_load=load,
+        packet_length=5,
+        seed=seed,
+        preset=get_preset(preset),
+        mesh=Mesh2D(4, 4),
+        traffic="uniform",
+        injection_process="periodic",
+        streaming=False,
+        check_invariants=False,
+        network_kwargs=kwargs,
+    )
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return RunLedger(tmp_path / "runs")
+
+
+def test_round_trip_replays_byte_identically(ledger):
+    identity = _identity(ledger)
+    assert ledger.lookup(identity) is None  # cold store
+    result = _result()
+    ledger.record_experiment(identity, result)
+    record = ledger.lookup(identity)
+    assert record is not None
+    replayed = ledger.replay_experiment(record)
+    assert canonical_json(dataclasses.asdict(replayed)) == canonical_json(
+        dataclasses.asdict(result)
+    )
+    assert (ledger.hits, ledger.misses, ledger.recorded) == (1, 1, 1)
+    assert "1/2 cache hits" in ledger.summary()
+
+
+def test_identity_distinguishes_every_axis(ledger):
+    base = _identity(ledger)
+    variants = [
+        _identity(ledger, load=0.3),
+        _identity(ledger, seed=2),
+        _identity(ledger, preset="standard"),
+        _identity(ledger, config=FR13),
+        _identity(ledger, config=VC8),
+        _identity(ledger, injection_lead=2),
+    ]
+    hashes = {ledger.identity_hash(base)} | {
+        ledger.identity_hash(v) for v in variants
+    }
+    assert len(hashes) == 1 + len(variants)
+
+
+def test_bit_flip_is_refused_never_silently_replayed(ledger, capsys):
+    identity = _identity(ledger)
+    ledger.record_experiment(identity, _result(latency=30.5))
+    key = ledger.identity_hash(identity)
+    path = ledger.record_path(key)
+    # Flip the stored latency: the content/result digests no longer match.
+    path.write_text(path.read_text().replace("30.5", "99.5"))
+    with pytest.raises(LedgerCorruptionError, match="refusing to replay"):
+        ledger.load(key)
+    # lookup degrades corruption to a loud miss, so callers re-simulate...
+    assert ledger.lookup(identity) is None
+    assert ledger.corrupt == 1
+    assert "re-simulating" in capsys.readouterr().err
+    # ...and the re-record atomically heals the store.
+    ledger.record_experiment(identity, _result(latency=30.5))
+    record = ledger.lookup(identity)
+    assert record is not None
+    assert record["result"]["mean_latency"] == 30.5
+
+
+def test_truncated_json_is_corruption_not_a_crash(ledger):
+    identity = _identity(ledger)
+    ledger.record_experiment(identity, _result())
+    path = ledger.record_path(ledger.identity_hash(identity))
+    path.write_text(path.read_text()[: 40])
+    with pytest.raises(LedgerCorruptionError, match="not valid JSON"):
+        ledger.load(ledger.identity_hash(identity))
+    assert ledger.lookup(identity) is None
+
+
+def test_record_stored_under_wrong_name_is_refused(ledger):
+    identity_a = _identity(ledger, load=0.2)
+    identity_b = _identity(ledger, load=0.3)
+    ledger.record_experiment(identity_a, _result(load=0.2))
+    key_a = ledger.identity_hash(identity_a)
+    key_b = ledger.identity_hash(identity_b)
+    # A valid record filed under the wrong hash must not replay as B.
+    ledger.record_path(key_b).write_text(ledger.record_path(key_a).read_text())
+    with pytest.raises(LedgerCorruptionError, match="stored under"):
+        ledger.load(key_b)
+    assert ledger.lookup(identity_b) is None
+
+
+def test_verify_catches_in_memory_tampering(ledger):
+    identity = _identity(ledger)
+    record = ledger.record_experiment(identity, _result())
+    tampered = json.loads(json.dumps(record))
+    tampered["result"]["mean_latency"] = 1.0
+    with pytest.raises(LedgerCorruptionError):
+        RunLedger.verify(tampered)
+    RunLedger.verify(json.loads(json.dumps(record)))  # untouched copy passes
+
+
+def test_code_digest_edit_in_closure_forces_miss(ledger, tmp_path, monkeypatch):
+    identity = _identity(ledger)
+    ledger.record_experiment(identity, _result())
+
+    import repro.obs.ledger as ledger_module
+
+    real_source = ledger_module._module_source
+
+    def edited(module: str) -> bytes:
+        source = real_source(module)
+        if module == "repro.core.network":  # reachable from the FR entry
+            return source + b"\n# edited\n"
+        return source
+
+    monkeypatch.setattr(ledger_module, "_module_source", edited)
+    fresh = RunLedger(tmp_path / "runs")  # digests cache per instance
+    edited_identity = _identity(fresh)
+    assert fresh.identity_hash(edited_identity) != ledger.identity_hash(identity)
+    assert fresh.lookup(edited_identity) is None
+
+
+def test_code_digest_edit_outside_closure_still_hits(ledger, tmp_path, monkeypatch):
+    identity = _identity(ledger)  # an FR run
+    ledger.record_experiment(identity, _result())
+
+    import repro.obs.ledger as ledger_module
+
+    real_source = ledger_module._module_source
+
+    def edited(module: str) -> bytes:
+        source = real_source(module)
+        if module == "repro.baselines.wormhole.network":  # WH-only module
+            return source + b"\n# edited\n"
+        return source
+
+    monkeypatch.setattr(ledger_module, "_module_source", edited)
+    fresh = RunLedger(tmp_path / "runs")
+    assert fresh.lookup(_identity(fresh)) is not None
+
+
+def test_gc_keeps_current_evicts_corrupt_and_stale(ledger, tmp_path, monkeypatch):
+    identity = _identity(ledger)
+    ledger.record_experiment(identity, _result())
+    # A corrupt neighbour and a stray temp file from an interrupted write.
+    (ledger.root / ("f" * 64 + ".json")).write_text("{not json")
+    (ledger.root / "whatever.12345.tmp").write_text("partial")
+    kept, evicted = RunLedger(tmp_path / "runs").gc()
+    assert (kept, evicted) == (1, 1)
+    assert not list(ledger.root.glob("*.tmp"))
+
+    # After a (simulated) edit to the FR closure the survivor is stale too.
+    import repro.obs.ledger as ledger_module
+
+    real_source = ledger_module._module_source
+    monkeypatch.setattr(
+        ledger_module,
+        "_module_source",
+        lambda module: real_source(module) + (b"#x" if module == "repro.core.network" else b""),
+    )
+    kept, evicted = RunLedger(tmp_path / "runs").gc()
+    assert (kept, evicted) == (0, 1)
+
+
+def test_gc_wipe_all_empties_the_store(ledger):
+    ledger.record_experiment(_identity(ledger, load=0.2), _result(load=0.2))
+    ledger.record_experiment(_identity(ledger, load=0.3), _result(load=0.3))
+    kept, evicted = ledger.gc(wipe_all=True)
+    assert (kept, evicted) == (0, 2)
+    assert not list(ledger.root.glob("*.json"))
+
+
+def test_resolve_prefix(ledger):
+    ledger.record_experiment(_identity(ledger, load=0.2), _result(load=0.2))
+    ledger.record_experiment(_identity(ledger, load=0.3), _result(load=0.3))
+    hashes = sorted(path.stem for path in ledger.root.glob("*.json"))
+    assert ledger.resolve(hashes[0][:10]) == hashes[0]
+    with pytest.raises(LedgerError, match="no run record matching"):
+        ledger.resolve("zzzz")
+    with pytest.raises(LedgerError, match="ambiguous"):
+        ledger.resolve("")  # every record matches the empty prefix
+
+
+def test_throughput_round_trip(ledger):
+    identity = ledger.throughput_identity(
+        config=FR6,
+        offered_load=0.5,
+        packet_length=5,
+        seed=1,
+        preset=get_preset("quick"),
+        mesh=Mesh2D(4, 4),
+        check_invariants=False,
+        network_kwargs={},
+    )
+    assert identity["kind"] == "throughput"
+    ledger.record_throughput(identity, 0.4987)
+    record = ledger.lookup(identity)
+    assert record is not None
+    assert ledger.replay_throughput(record) == 0.4987
+
+
+def test_bench_round_trip(ledger):
+    identity = ledger.bench_identity(
+        "FR", {"label": "FR6", "config": "FR6", "offered_load": 0.5}
+    )
+    ledger.record_bench(
+        identity,
+        {"cycles": 1844, "packets_measured": 3777},
+        profile={"cycles_per_second": 550.0},
+    )
+    record = ledger.lookup(identity)
+    assert record is not None
+    assert record["kind"] == "bench"
+    assert record["result"]["cycles"] == 1844
+    line = describe_record(record)
+    assert "bench" in line and "FR6" in line and "cps=550.0" in line
+
+
+def test_describe_and_diff_render(ledger):
+    identity_a = _identity(ledger, load=0.2)
+    identity_b = _identity(ledger, load=0.3)
+    record_a = ledger.record_experiment(identity_a, _result(load=0.2, latency=30.0))
+    record_b = ledger.record_experiment(identity_b, _result(load=0.3, latency=35.0))
+    line = describe_record(record_a)
+    assert line.startswith(ledger.identity_hash(identity_a)[:12])
+    assert "FR6 load=0.20" in line and "latency=30.0" in line
+    diff = format_run_diff(record_a, record_b)
+    assert "mean_latency" in diff and "+5.00" in diff
+    assert "offered_load" in diff and "+0.10" in diff
+
+
+def test_wall_clock_never_reaches_digests(ledger):
+    """The result digest covers only the result block; profile/attribution
+    metadata (the only wall-clock carriers) stay outside it."""
+    identity = _identity(ledger)
+    record = ledger.record_experiment(identity, _result())
+    assert record["result_digest"] == content_digest(record["result"])
+    assert "wall" not in canonical_json(record["identity"])
+    assert "wall" not in canonical_json(record["result"])

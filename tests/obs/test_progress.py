@@ -1,0 +1,95 @@
+"""The progress reporter: heartbeat cadence, bracketing, JSONL stream."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.progress import PROGRESS_SCHEMA, ProgressReporter
+
+
+class _FrozenNetwork:
+    """Raises on any attribute access: the hook must never touch it."""
+
+    def __getattr__(self, name):
+        raise AssertionError(f"ProgressReporter touched network.{name}")
+
+
+def _events(path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def test_heartbeat_every_n_cycles_and_never_touches_network(tmp_path):
+    out = tmp_path / "progress.jsonl"
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        jsonl_out=str(out), stream=stream, heartbeat_cycles=10, label="T"
+    )
+    reporter.begin_point(index=1, total=3, label="load=0.20")
+    reporter.enter_phase("warmup")
+    network = _FrozenNetwork()
+    for cycle in range(25):
+        reporter.check(network, cycle)
+    events = _events(out)
+    beats = [e for e in events if e["event"] == "heartbeat"]
+    assert len(beats) == 2  # cycles 10 and 20
+    assert all(e["schema"] == PROGRESS_SCHEMA for e in events)
+    assert beats[0]["phase"] == "warmup"
+    assert beats[0]["point_cycles"] == 10
+    assert beats[1]["point_cycles"] == 20
+    assert "cycles_per_second" in beats[0]
+    human = stream.getvalue()
+    assert "[frfc] T point 1/3 load=0.20" in human
+    assert "phase=warmup" in human
+
+
+def test_bracketing_counts_hits_and_simulated(tmp_path):
+    out = tmp_path / "progress.jsonl"
+    reporter = ProgressReporter(jsonl_out=str(out), stream=io.StringIO())
+    reporter.begin_point(1, 2, "load=0.20")
+    reporter.end_point(cache_hit=False, summary="fresh")
+    reporter.begin_point(2, 2, "load=0.30")
+    reporter.end_point(cache_hit=True, summary="replayed")
+    reporter.close("2 points")
+    assert (reporter.points_simulated, reporter.points_hit) == (1, 1)
+    events = _events(out)
+    ends = [e for e in events if e["event"] == "end_point"]
+    assert [e["cache_hit"] for e in ends] == [False, True]
+    assert all("wall_seconds" in e for e in ends)
+    assert events[-1] == {**events[-1], "event": "done", "summary": "2 points"}
+
+
+def test_eta_extrapolates_from_completed_simulated_points():
+    reporter = ProgressReporter(stream=io.StringIO())
+    reporter.begin_point(1, 4, "a")
+    assert reporter._eta_seconds() is None  # nothing completed yet
+    reporter._completed_walls.append(2.0)
+    reporter.point_index = 2
+    eta = reporter._eta_seconds()
+    assert eta is not None
+    # Two points remain at ~2s each, plus the remainder of the current one.
+    assert 4.0 <= eta <= 6.1
+
+
+def test_jsonl_stream_appends_across_reporters(tmp_path):
+    """A resumed sweep extends progress.jsonl rather than truncating it."""
+    out = tmp_path / "progress.jsonl"
+    first = ProgressReporter(jsonl_out=str(out), stream=io.StringIO())
+    first.begin_point(1, 2, "load=0.20")
+    first.end_point(cache_hit=False)
+    second = ProgressReporter(jsonl_out=str(out), stream=io.StringIO())
+    second.begin_point(2, 2, "load=0.30")
+    second.end_point(cache_hit=True)
+    events = _events(out)
+    assert [e["event"] for e in events] == [
+        "begin_point", "end_point", "begin_point", "end_point",
+    ]
+
+
+def test_no_jsonl_out_means_stderr_only(tmp_path, monkeypatch):
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream)
+    reporter.begin_point(1, 1, "load=0.50")
+    reporter.end_point(cache_hit=False, summary="ok")
+    assert "simulated" in stream.getvalue()
+    assert not list(tmp_path.iterdir())

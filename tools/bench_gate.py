@@ -86,6 +86,33 @@ def _resolve_config(name: str) -> Any:
         ) from None
 
 
+def _make_ledger(args: argparse.Namespace) -> Any:
+    if args.no_ledger:
+        return None
+    from repro.obs.ledger import RunLedger
+
+    return RunLedger(args.ledger)
+
+
+def _record_bench(ledger: Any, label: str, report: dict[str, Any]) -> None:
+    """Drop one ``kind: bench`` record into the run ledger.
+
+    Deterministic outputs (cycles, packets) go in the result block; the
+    wall-clock numbers live in the explicitly-labelled profile block, so
+    re-records at the same git SHA overwrite rather than accumulate.
+    """
+    if ledger is None:
+        return
+    model = {"FR": "FR", "VC": "VC", "WH": "WH"}[str(report["workload"]["config"])[:2]]
+    identity = ledger.bench_identity(model, {"label": label, **report["workload"]})
+    ledger.record_bench(
+        identity,
+        {"cycles": report["cycles"],
+         "packets_measured": report["packets_measured"]},
+        profile=_bench_block(report),
+    )
+
+
 def run_benchmark(workload: dict[str, Any] | None = None) -> dict[str, Any]:
     """Run one workload with only the profiler attached; returns its report."""
     from repro import Mesh2D, run_experiment
@@ -141,7 +168,9 @@ def _trajectory_entry(report: dict[str, Any], sha: str,
 
 def record(args: argparse.Namespace) -> int:
     sha = git_sha()
+    ledger = _make_ledger(args)
     report = run_benchmark()
+    _record_bench(ledger, "FR6", report)
     baseline = {
         "schema": BASELINE_SCHEMA,
         "workload": report["workload"],
@@ -160,6 +189,7 @@ def record(args: argparse.Namespace) -> int:
     models: dict[str, Any] = {}
     for model in sorted(MODEL_WORKLOADS):
         model_report = run_benchmark(MODEL_WORKLOADS[model])
+        _record_bench(ledger, model, model_report)
         models[model] = {
             "workload": model_report["workload"],
             "packets_measured": model_report["packets_measured"],
@@ -182,6 +212,9 @@ def record(args: argparse.Namespace) -> int:
     print(f"  models:     {_display(args.models_baseline)}")
     print(f"  trajectory: {_display(args.trajectory)} "
           f"({sum(1 for _ in open(args.trajectory))} points)")
+    if ledger is not None:
+        print(f"  ledger:     {_display(Path(args.ledger))} "
+              f"({ledger.recorded} bench records)")
     return 0
 
 
@@ -274,6 +307,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--models-baseline", type=Path, default=MODELS_BASELINE)
     parser.add_argument("--trajectory", type=Path, default=TRAJECTORY)
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=REPO_ROOT / ".frfc" / "runs",
+        help="run-ledger store for `kind: bench` records (default .frfc/runs)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip recording benchmark runs into the run ledger",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("record", help="run the workloads and (re)write the baselines")
     gate = sub.add_parser("check", help="run the workload and gate on the baseline")
