@@ -386,3 +386,10 @@ class VCRouter:
     def buffered_flits(self, port: int) -> int:
         """Occupied buffers at one input (for the Section 4.2 occupancy study)."""
         return self.pool_occupancy[port]
+
+    def buffered_total(self) -> int:
+        """Occupied buffers summed over every input of this router."""
+        total = 0
+        for occupied in self.pool_occupancy:
+            total += occupied
+        return total

@@ -916,3 +916,23 @@ class FRRouter:
     def buffered_flits(self, port: int) -> int:
         """Occupied data buffers at one input (Section 4.2 occupancy study)."""
         return self.input_sched[port].occupancy
+
+    def buffered_total(self) -> int:
+        """Occupied data buffers summed over every input of this router."""
+        total = 0
+        for scheduler in self.input_sched:
+            total += scheduler.occupancy
+        return total
+
+    def reservation_busy(self, port: int) -> int:
+        """Reserved slots in one output port's reservation table (0 if unwired)."""
+        table = self.out_tables[port]
+        return table.busy_slots() if table is not None else 0
+
+    def reservation_busy_total(self) -> int:
+        """Reserved slots summed over every output reservation table."""
+        total = 0
+        for table in self.out_tables:
+            if table is not None:
+                total += table.busy_slots()
+        return total

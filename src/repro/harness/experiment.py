@@ -205,7 +205,8 @@ def run_experiment(
         saturated=saturated,
     )
     if ledger is not None and identity is not None:
-        ledger.record_experiment(identity, result, obs=obs)
+        artifacts = obs.declared_artifacts() if obs is not None else None
+        ledger.record_experiment(identity, result, obs=obs, artifacts=artifacts)
     return result
 
 

@@ -18,6 +18,8 @@ Examples::
         --profile                   # fully observed run with exports
     frfc attribute FR6 0.5 --versus VC8 --preset quick
                                     # where does each cycle of latency go?
+    frfc heatmap FR6 0.85 --metric reservation_occupancy --preset quick
+                                    # where is the mesh congested?
 """
 
 from __future__ import annotations
@@ -110,6 +112,15 @@ def main(argv: list[str] | None = None) -> int:
         "and `saturate`",
     )
     obs_flags.add_argument(
+        "--spatial-out",
+        help="write the per-coordinate spatial metrics timeseries CSV here",
+    )
+    obs_flags.add_argument(
+        "--heatmap-out",
+        help="write the frfc-heatmap/1 mesh heatmap JSON here; `sweep` "
+        "writes one frame per load",
+    )
+    obs_flags.add_argument(
         "--manifest-out",
         default="obs_manifest.json",
         help="run manifest path (config, preset, seed, git SHA)",
@@ -189,7 +200,53 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--loads", default="0.1,0.3,0.5,0.63,0.72,0.8")
     sweep.add_argument("--packet-length", type=int, default=5)
     sweep.add_argument("--attribution-out", default=argparse.SUPPRESS)
+    sweep.add_argument("--heatmap-out", default=argparse.SUPPRESS)
     _add_ledger_flags(sweep)
+
+    heat = sub.add_parser(
+        "heatmap",
+        help="render a spatial congestion heatmap for one (config, load) "
+        "point, or re-render an existing frfc-heatmap/1 JSON with --from",
+    )
+    heat.add_argument("config", nargs="?")
+    heat.add_argument("load", nargs="?", type=float)
+    heat.add_argument("--packet-length", type=int, default=5)
+    heat.add_argument(
+        "--metric",
+        default="buffer_occupancy",
+        help="node metric to render (buffer_occupancy, reservation_occupancy, "
+        "injection_backpressure, credit_stalls)",
+    )
+    heat.add_argument(
+        "--at",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="render the single sampled window containing this cycle",
+    )
+    heat.add_argument(
+        "--window",
+        default=None,
+        metavar="A:B",
+        help="aggregate the sampled rows inside the half-open window [A, B) "
+        "(default: the measurement window)",
+    )
+    heat.add_argument(
+        "--top", type=int, default=5, help="hotspot count to report per frame"
+    )
+    heat.add_argument(
+        "--frame", type=int, default=0, help="frame index for multi-frame payloads"
+    )
+    heat.add_argument("--json-out", help="also write the frfc-heatmap/1 JSON here")
+    heat.add_argument("--svg-out", help="also write an SVG rendering here")
+    heat.add_argument(
+        "--from",
+        dest="from_file",
+        default=None,
+        metavar="JSON",
+        help="re-render an existing frfc-heatmap/1 payload instead of simulating",
+    )
+    _add_run_flags(heat)
 
     trace = sub.add_parser("trace", help="print one packet's event timeline")
     trace.add_argument("config")
@@ -241,18 +298,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="for `gc`: evict every record, not just stale/corrupt ones",
     )
+    runs.add_argument(
+        "--kind",
+        choices=["experiment", "throughput", "bench"],
+        default=None,
+        help="for `list`: show only records of this kind (bench-gate entries "
+        "otherwise drown sweep records)",
+    )
 
     args = parser.parse_args(argv)
     if args.analyze:
         _run_analysis_gates()
     wants_exports = bool(
-        args.trace_out or args.metrics_out or args.events_out or args.profile
+        args.trace_out
+        or args.metrics_out
+        or args.events_out
+        or args.profile
+        or args.spatial_out
     )
     wants_attribution = getattr(args, "attribution_out", None) is not None
+    wants_heatmap = getattr(args, "heatmap_out", None) is not None
     if wants_exports and args.command not in ("point", "obs", "attribute"):
         raise SystemExit(
-            "--trace-out/--metrics-out/--events-out/--profile apply to the "
-            "`obs`, `point`, and `attribute` commands only"
+            "--trace-out/--metrics-out/--events-out/--profile/--spatial-out "
+            "apply to the `obs`, `point`, and `attribute` commands only"
         )
     if wants_attribution and args.command not in (
         "point",
@@ -265,7 +334,12 @@ def main(argv: list[str] | None = None) -> int:
             "--attribution-out applies to the `point`, `obs`, `attribute`, "
             "`sweep`, and `saturate` commands only"
         )
-    wants_obs = wants_exports or wants_attribution
+    if wants_heatmap and args.command not in ("point", "obs", "sweep"):
+        raise SystemExit(
+            "--heatmap-out applies to the `point`, `obs`, and `sweep` "
+            "commands only (`heatmap` renders directly)"
+        )
+    wants_obs = wants_exports or wants_attribution or wants_heatmap
     if args.command == "table1":
         print(format_table1(table1()))
     elif args.command == "table2":
@@ -377,12 +451,15 @@ def main(argv: list[str] | None = None) -> int:
             attribute=wants_attribution,
             ledger=ledger,
             progress=progress,
+            heatmap_out=getattr(args, "heatmap_out", None),
         )
         if progress is not None:
             progress.close(
                 f"{sweep_result.cache_hits()}/{len(sweep_result.telemetry)} cache hits"
             )
         print(sweep_result.format_table())
+        if wants_heatmap:
+            print(f"  heatmap: {args.heatmap_out}")
         if wants_attribution:
             _write_attribution(sweep_result.attribution, args)
         # Sweep health (per-point cache/drops/phase timings) goes to stderr so
@@ -390,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
         if sweep_result.telemetry:
             sys.stderr.write(sweep_result.format_health() + "\n")
         _report_ledger(ledger)
+    elif args.command == "heatmap":
+        return _heatmap(args, argv)
     elif args.command == "trace":
         print(_trace(args))
     elif args.command == "utilization":
@@ -416,6 +495,8 @@ def _add_run_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--events-out", default=suppress)
     subparser.add_argument("--profile", action="store_true", default=suppress)
     subparser.add_argument("--attribution-out", default=suppress)
+    subparser.add_argument("--spatial-out", default=suppress)
+    subparser.add_argument("--heatmap-out", default=suppress)
     subparser.add_argument("--manifest-out", default=suppress)
     subparser.add_argument("--bench-out", default=suppress)
     subparser.add_argument("--sample-every", type=int, default=suppress)
@@ -484,12 +565,17 @@ def _runs(args: argparse.Namespace) -> int:
         format_run_diff,
     )
 
+    if args.kind is not None and args.action != "list":
+        raise SystemExit("--kind applies to `frfc runs list` only")
     ledger = RunLedger(args.store)
     try:
         if args.action == "list":
-            records, corrupt = ledger.scan()
+            records, corrupt = ledger.scan(kind=args.kind)
             if not records and not corrupt:
-                print(f"no run records in {ledger.root}")
+                where = f"no run records in {ledger.root}"
+                if args.kind is not None:
+                    where = f"no {args.kind} records in {ledger.root}"
+                print(where)
                 return 0
             for record in records:
                 print(describe_record(record))
@@ -540,6 +626,8 @@ def _obs_session(args: argparse.Namespace, defaults: bool = False) -> "ObsSessio
         events_out=args.events_out,
         trace_out=trace_out,
         metrics_out=metrics_out,
+        spatial_out=args.spatial_out,
+        heatmap_out=getattr(args, "heatmap_out", None),
         profile=profile,
         attribution_out=args.attribution_out,
         manifest_out=args.manifest_out,
@@ -565,6 +653,105 @@ def _finalize_obs(
         print(f"  {kind}: {artifacts[kind]}")
     if session.profiler is not None:
         print(f"  simulator: {session.profiler.cycles_per_second:,.0f} cycles/sec")
+
+
+def _parse_window(spec: str) -> tuple[int, int]:
+    """Parse ``A:B`` into the half-open cycle window (A, B)."""
+    parts = spec.split(":")
+    try:
+        start, end = (int(part) for part in parts)
+    except ValueError:
+        raise SystemExit(f"--window takes A:B cycle bounds, got {spec!r}")
+    if start >= end:
+        raise SystemExit(f"--window must be half-open [A, B) with A < B, got {spec!r}")
+    return start, end
+
+
+def _heatmap(args: argparse.Namespace, argv: list[str] | None) -> int:
+    """Run `frfc heatmap`: simulate (or load) a payload and render it."""
+    from repro.obs.heatmap import (
+        HeatmapError,
+        build_heatmap,
+        format_hotspots,
+        render_ascii,
+        render_svg,
+        validate_heatmap,
+        write_heatmap_json,
+    )
+
+    window = _parse_window(args.window) if args.window else None
+    try:
+        if args.from_file:
+            import json as json_module
+
+            with open(args.from_file, encoding="utf-8") as handle:
+                payload = json_module.load(handle)
+            validate_heatmap(payload)
+        else:
+            if args.config is None or args.load is None:
+                raise SystemExit(
+                    "frfc heatmap needs CFG LOAD to simulate (or --from FILE "
+                    "to re-render an existing payload)"
+                )
+            from repro.obs.session import ObsSession
+
+            session = ObsSession(
+                heatmap_out="",
+                manifest_out="",
+                bench_out="",
+                sample_every=args.sample_every,
+            )
+            result = run_experiment(
+                _config(args.config),
+                args.load,
+                packet_length=args.packet_length,
+                seed=args.seed,
+                preset=args.preset,
+                check_invariants=args.check_invariants,
+                obs=session,
+            )
+            print(result.summary())
+            registry = session.spatial
+            if registry is None or registry.network is None or not registry.samples:
+                raise SystemExit("frfc heatmap: the run sampled no spatial rows")
+            select = window
+            if select is None and args.at is None:
+                # Default to the measurement window, like the session export.
+                select = session.window
+                if select is not None and not registry.rows_in_window(*select):
+                    select = None
+            payload = build_heatmap(
+                registry,
+                registry.network.mesh,
+                label=f"{result.config_name} load={args.load:.2f}",
+                window=select,
+                at=args.at,
+                top_k=args.top,
+                context={
+                    "seed": args.seed,
+                    "preset": args.preset,
+                    "offered_load": args.load,
+                    "packet_length": args.packet_length,
+                    "command": "frfc "
+                    + " ".join(argv if argv is not None else sys.argv[1:]),
+                },
+            )
+        print(render_ascii(payload, args.metric, frame=args.frame))
+        print()
+        print(format_hotspots(payload, args.metric, frame=args.frame))
+        if args.json_out:
+            write_heatmap_json(payload, args.json_out)
+            print(f"  heatmap: {args.json_out}")
+        if args.svg_out:
+            from repro.obs.exporters import atomic_write_text
+
+            atomic_write_text(args.svg_out, render_svg(payload, args.metric, frame=args.frame))
+            print(f"  svg: {args.svg_out}")
+    except ValueError as error:  # HeatmapError and malformed --from JSON
+        raise SystemExit(f"frfc heatmap: {error}")
+    except OSError as error:
+        raise SystemExit(f"frfc heatmap: {error}")
+    return 0
 
 
 def _attribute(args: argparse.Namespace, argv: list[str] | None) -> None:

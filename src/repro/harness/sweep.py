@@ -124,6 +124,7 @@ def run_load_sweep(
     attribute: bool = False,
     ledger: Optional["RunLedger"] = None,
     progress: Optional["ProgressReporter"] = None,
+    heatmap_out: Optional[str] = None,
     **kwargs: Any,
 ) -> LoadSweepResult:
     """Measure one configuration across ascending offered loads.
@@ -143,13 +144,28 @@ def run_load_sweep(
     attaches a heartbeat reporter to every simulated point and brackets
     points for ETA accounting; both leave results bit-identical to a bare
     sweep.
+
+    With ``heatmap_out`` every simulated point runs with a spatial metrics
+    registry attached and the sweep writes one ``frfc-heatmap/1`` payload
+    with one frame per point (the spatial evolution of congestion as load
+    rises).  Points replayed from the ledger were never simulated, so they
+    contribute no frame.
     """
     result = LoadSweepResult(config_name="", packet_length=packet_length)
     ordered = sorted(loads)
-    observed = attribute or ledger is not None or progress is not None
+    observed = (
+        attribute or ledger is not None or progress is not None
+        or heatmap_out is not None
+    )
+    frames: list[dict[str, Any]] = []
+    frame_registry = None
     for index, load in enumerate(ordered):
         session = (
-            _point_session(attribute=attribute, progress=progress)
+            _point_session(
+                attribute=attribute,
+                progress=progress,
+                spatial=heatmap_out is not None,
+            )
             if observed
             else None
         )
@@ -184,10 +200,43 @@ def run_load_sweep(
             )
             if summary is not None:
                 result.attribution.append(summary)
+        if (
+            heatmap_out is not None
+            and session is not None
+            and session.spatial is not None
+            and session.spatial.samples
+            and session.spatial.network is not None
+        ):
+            from repro.obs.heatmap import build_frame
+
+            window = session.window
+            if window is not None and not session.spatial.rows_in_window(*window):
+                window = None
+            frames.append(
+                build_frame(
+                    session.spatial,
+                    session.spatial.network.mesh,
+                    label=f"{point.config_name} load={load:.2f}",
+                    window=window,
+                )
+            )
+            frame_registry = session.spatial
         if progress is not None:
             progress.end_point(cache_hit=hit, summary=point.summary())
         if stop_when_saturated and point.saturated:
             break
+    if heatmap_out and frames and frame_registry is not None:
+        from repro.obs.heatmap import assemble_heatmap, write_heatmap_json
+
+        network = frame_registry.network
+        if network is not None:
+            payload = assemble_heatmap(
+                frame_registry,
+                network.mesh,
+                frames,
+                context={"seed": seed, "packet_length": packet_length},
+            )
+            write_heatmap_json(payload, heatmap_out)
     return result
 
 
@@ -224,14 +273,18 @@ def _attribution_session() -> "ObsSession":
 
 
 def _point_session(
-    attribute: bool = False, progress: Optional["ProgressReporter"] = None
+    attribute: bool = False,
+    progress: Optional["ProgressReporter"] = None,
+    spatial: bool = False,
 ) -> "ObsSession":
     """The per-point session of an observed sweep: profiled, artifact-free,
-    attributing when asked, forwarding heartbeats when a reporter is given."""
+    attributing/spatially sampling when asked, forwarding heartbeats when a
+    reporter is given."""
     from repro.obs.session import ObsSession
 
     return ObsSession(
         attribution_out="" if attribute else None,
+        heatmap_out="" if spatial else None,
         manifest_out="",
         bench_out="",
         profile=True,

@@ -20,6 +20,12 @@ The layer has five parts:
   packet's critical path from bus events and decomposes its latency into
   components that sum exactly to the measured value, plus the aggregate
   tables, JSON artifact, and Perfetto waterfall built on top;
+* :mod:`repro.obs.spatial` (+ :mod:`repro.obs.heatmap`) -- the
+  :class:`~repro.obs.spatial.SpatialMetricsRegistry` of per-router /
+  per-link / per-reservation-table instruments, the read-only
+  :class:`~repro.obs.spatial.CongestionSignal` API, and the
+  ``frfc-heatmap/1`` exporter with ASCII/SVG mesh renderers and the
+  hotspot detector behind ``frfc heatmap``;
 * :mod:`repro.obs.exporters` (+ :mod:`repro.obs.manifest`,
   :mod:`repro.obs.profile`, :mod:`repro.obs.session`) -- JSONL, Chrome
   trace-event, and CSV timeseries writers, the reproducibility manifest,
@@ -63,7 +69,24 @@ from repro.obs.report import (
     validate_attribution,
     write_attribution_json,
 )
+from repro.obs.heatmap import (
+    HEATMAP_SCHEMA,
+    HeatmapError,
+    build_frame,
+    build_heatmap,
+    format_hotspots,
+    render_ascii,
+    render_svg,
+    validate_heatmap,
+    write_heatmap_json,
+)
 from repro.obs.session import ObsSession
+from repro.obs.spatial import (
+    CongestionSignal,
+    SpatialMetricsRegistry,
+    SpatialSample,
+    write_spatial_csv,
+)
 from repro.obs.trace import TraceEvent, TraceLog
 
 __all__ = [
@@ -71,6 +94,7 @@ __all__ = [
     "AttributionSummary",
     "COMPONENTS",
     "ComponentStats",
+    "CongestionSignal",
     "Counter",
     "CycleHistogram",
     "DEFAULT_STORE",
@@ -78,6 +102,8 @@ __all__ = [
     "EventBus",
     "EventCollector",
     "Gauge",
+    "HEATMAP_SCHEMA",
+    "HeatmapError",
     "LatencyAttributor",
     "LedgerCorruptionError",
     "LedgerError",
@@ -92,11 +118,21 @@ __all__ = [
     "RunLedger",
     "Segment",
     "SimProfiler",
+    "SpatialMetricsRegistry",
+    "SpatialSample",
     "TraceEvent",
     "TraceLog",
+    "build_frame",
+    "build_heatmap",
     "describe_record",
     "format_attribution_table",
+    "format_hotspots",
     "format_run_diff",
+    "render_ascii",
+    "render_svg",
     "validate_attribution",
+    "validate_heatmap",
     "write_attribution_json",
+    "write_heatmap_json",
+    "write_spatial_csv",
 ]

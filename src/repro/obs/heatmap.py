@@ -1,0 +1,437 @@
+"""Mesh heatmaps: the ``frfc-heatmap/1`` exporter and its renderers.
+
+A heatmap payload is a deterministic JSON document built from a
+:class:`~repro.obs.spatial.SpatialMetricsRegistry`: per-metric, per-node
+grids (row-major, one value per mesh node) plus per-link values, aggregated
+over a half-open cycle window, with a built-in hotspot report (the top-k
+congested nodes and links and their share of the network-wide total).
+``frfc heatmap`` renders payloads as ASCII for terminals and as
+self-contained SVG for CI artifacts; both renderers are pure functions of
+the payload, so repeated exports are byte-identical (pinned in
+``tests/obs/test_heatmap.py``).
+
+Schema (``frfc-heatmap/1``)::
+
+    {
+      "schema": "frfc-heatmap/1",
+      "mesh": {"width": W, "height": H},
+      "sample_every": N,
+      "metrics": {name: "level" | "rate", ...},
+      "link_keys": [[node, port], ...],
+      "frames": [
+        {"label": str, "window": [start, end),
+         "rows": <sampled rows aggregated>,
+         "nodes": {metric: [W*H floats, row-major]},
+         "links": {metric: [floats aligned with link_keys]},
+         "hotspots": {metric: {"nodes": [{"node","x","y","value","share"}...],
+                                "links": [{"node","port","value","share"}...]}}}
+      ],
+      "context": {...}          # config/seed/load provenance, optional
+    }
+
+*Level* metrics aggregate as the mean of the per-row instantaneous values
+inside the window; *rate* metrics as the window-length-weighted mean, so a
+frame's value is the true rate over its whole window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs.exporters import atomic_write_json
+from repro.obs.spatial import RATE, SpatialMetricsRegistry
+from repro.topology.mesh import PORT_NAMES
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.topology.mesh import Mesh2D
+
+HEATMAP_SCHEMA = "frfc-heatmap/1"
+
+#: ASCII shade ramp, blank (cold) to dense (hot).
+_ASCII_RAMP = " .:-=+*#%@"
+
+#: SVG color ramp endpoints (cold -> hot), a perceptually sane blue->red.
+_SVG_COLD = (42, 72, 136)
+_SVG_HOT = (214, 69, 51)
+
+
+class HeatmapError(ValueError):
+    """Raised when a payload does not satisfy ``frfc-heatmap/1``."""
+
+
+# ---------------------------------------------------------------------------
+# Building payloads from a spatial registry
+# ---------------------------------------------------------------------------
+
+
+def build_frame(
+    registry: SpatialMetricsRegistry,
+    mesh: "Mesh2D",
+    label: str,
+    window: tuple[int, int] | None = None,
+    at: int | None = None,
+    top_k: int = 5,
+) -> dict[str, Any]:
+    """Aggregate sampled rows into one heatmap frame.
+
+    ``window`` selects rows whose half-open windows fall inside
+    ``[start, end)``; ``at`` selects the single row whose window contains
+    that cycle; with neither, every sampled row aggregates.  Exactly one of
+    ``window``/``at`` may be given.
+    """
+    if window is not None and at is not None:
+        raise HeatmapError("give either a window or an --at cycle, not both")
+    if at is not None:
+        rows = [s for s in registry.samples if s.window_start <= at < s.window_end]
+        if not rows:
+            raise HeatmapError(
+                f"no sampled window contains cycle {at} "
+                f"(cadence {registry.sample_every}, {len(registry.samples)} rows)"
+            )
+    elif window is not None:
+        start, end = window
+        if start >= end:
+            raise HeatmapError(f"window must be half-open [start, end), got {window}")
+        rows = registry.rows_in_window(start, end)
+        if not rows:
+            raise HeatmapError(
+                f"no sampled rows inside [{start}, {end}) "
+                f"(cadence {registry.sample_every}, {len(registry.samples)} rows)"
+            )
+    else:
+        rows = list(registry.samples)
+        if not rows:
+            raise HeatmapError("the spatial registry holds no sampled rows")
+    span = (rows[0].window_start, rows[-1].window_end)
+    frame: dict[str, Any] = {
+        "label": label,
+        "window": [span[0], span[1]],
+        "rows": len(rows),
+        "nodes": {},
+        "links": {},
+        "hotspots": {},
+    }
+    for name in sorted(registry.node_metrics):
+        kind = registry.node_metrics[name]
+        grid = _aggregate(
+            [row.nodes[name] for row in rows],
+            [row.window_end - row.window_start for row in rows],
+            weighted=kind == RATE,
+        )
+        frame["nodes"][name] = grid
+        frame["hotspots"][name] = {
+            "nodes": _hotspot_nodes(grid, mesh, top_k),
+            "links": [],
+        }
+    for name in sorted(registry.link_metrics):
+        kind = registry.link_metrics[name]
+        values = _aggregate(
+            [row.links[name] for row in rows],
+            [row.window_end - row.window_start for row in rows],
+            weighted=kind == RATE,
+        )
+        frame["links"][name] = values
+        entry = frame["hotspots"].setdefault(name, {"nodes": [], "links": []})
+        entry["links"] = _hotspot_links(values, registry.link_keys, top_k)
+    return frame
+
+
+def build_heatmap(
+    registry: SpatialMetricsRegistry,
+    mesh: "Mesh2D",
+    label: str = "",
+    window: tuple[int, int] | None = None,
+    at: int | None = None,
+    top_k: int = 5,
+    context: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One-frame ``frfc-heatmap/1`` payload (the `point`/`obs` export)."""
+    frame = build_frame(registry, mesh, label=label, window=window, at=at, top_k=top_k)
+    return assemble_heatmap(registry, mesh, [frame], context=context)
+
+
+def assemble_heatmap(
+    registry: SpatialMetricsRegistry,
+    mesh: "Mesh2D",
+    frames: list[dict[str, Any]],
+    context: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Wrap pre-built frames (one per sweep point) into a full payload."""
+    payload: dict[str, Any] = {
+        "schema": HEATMAP_SCHEMA,
+        "mesh": {"width": mesh.width, "height": mesh.height},
+        "sample_every": registry.sample_every,
+        "metrics": {
+            **{k: registry.node_metrics[k] for k in sorted(registry.node_metrics)},
+            **{k: registry.link_metrics[k] for k in sorted(registry.link_metrics)},
+        },
+        "link_keys": [[node, port] for node, port in registry.link_keys],
+        "frames": frames,
+    }
+    if context:
+        payload["context"] = dict(context)
+    validate_heatmap(payload)
+    return payload
+
+
+def _aggregate(
+    rows: list[list[float]], lengths: list[int], weighted: bool
+) -> list[float]:
+    """Mean the per-row vectors; rates weight each row by its window length."""
+    if weighted:
+        total = sum(lengths)
+        acc = [0.0] * len(rows[0])
+        for row, length in zip(rows, lengths):
+            for index, value in enumerate(row):
+                acc[index] += value * length
+        return [value / total for value in acc]
+    acc = [0.0] * len(rows[0])
+    for row in rows:
+        for index, value in enumerate(row):
+            acc[index] += value
+    return [value / len(rows) for value in acc]
+
+
+def _hotspot_nodes(
+    grid: list[float], mesh: "Mesh2D", top_k: int
+) -> list[dict[str, Any]]:
+    total = sum(grid)
+    ranked = sorted(enumerate(grid), key=lambda item: (-item[1], item[0]))
+    report = []
+    for node, value in ranked[:top_k]:
+        x, y = mesh.coordinates(node)
+        report.append(
+            {
+                "node": node,
+                "x": x,
+                "y": y,
+                "value": value,
+                "share": value / total if total else 0.0,
+            }
+        )
+    return report
+
+
+def _hotspot_links(
+    values: list[float], link_keys: list[tuple[int, int]], top_k: int
+) -> list[dict[str, Any]]:
+    total = sum(values)
+    ranked = sorted(enumerate(values), key=lambda item: (-item[1], item[0]))
+    report = []
+    for index, value in ranked[:top_k]:
+        node, port = link_keys[index]
+        report.append(
+            {
+                "node": node,
+                "port": PORT_NAMES[port],
+                "value": value,
+                "share": value / total if total else 0.0,
+            }
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def validate_heatmap(payload: Mapping[str, Any]) -> None:
+    """Raise :class:`HeatmapError` unless ``payload`` is a valid heatmap."""
+    if payload.get("schema") != HEATMAP_SCHEMA:
+        raise HeatmapError(f"schema must be {HEATMAP_SCHEMA!r}, got {payload.get('schema')!r}")
+    mesh = payload.get("mesh")
+    if (
+        not isinstance(mesh, Mapping)
+        or not isinstance(mesh.get("width"), int)
+        or not isinstance(mesh.get("height"), int)
+        or mesh["width"] < 2
+        or mesh["height"] < 2
+    ):
+        raise HeatmapError(f"mesh must give integer width/height >= 2, got {mesh!r}")
+    cells = mesh["width"] * mesh["height"]
+    if not isinstance(payload.get("sample_every"), int) or payload["sample_every"] < 1:
+        raise HeatmapError("sample_every must be a positive integer")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        raise HeatmapError("metrics must name at least one metric")
+    for name, kind in metrics.items():
+        if kind not in ("level", "rate"):
+            raise HeatmapError(f"metric {name!r} kind must be level|rate, got {kind!r}")
+    link_keys = payload.get("link_keys", [])
+    frames = payload.get("frames")
+    if not isinstance(frames, list) or not frames:
+        raise HeatmapError("frames must be a non-empty list")
+    for index, frame in enumerate(frames):
+        where = f"frame {index} ({frame.get('label', '?')!r})"
+        window = frame.get("window")
+        if (
+            not isinstance(window, list)
+            or len(window) != 2
+            or not all(isinstance(edge, int) for edge in window)
+            or window[0] >= window[1]
+        ):
+            raise HeatmapError(f"{where}: window must be half-open [start, end)")
+        for name, grid in frame.get("nodes", {}).items():
+            if name not in metrics:
+                raise HeatmapError(f"{where}: undeclared node metric {name!r}")
+            if len(grid) != cells:
+                raise HeatmapError(
+                    f"{where}: metric {name!r} has {len(grid)} cells, mesh needs {cells}"
+                )
+            _check_finite(grid, where, name)
+        for name, values in frame.get("links", {}).items():
+            if name not in metrics:
+                raise HeatmapError(f"{where}: undeclared link metric {name!r}")
+            if len(values) != len(link_keys):
+                raise HeatmapError(
+                    f"{where}: metric {name!r} has {len(values)} link values, "
+                    f"payload declares {len(link_keys)} links"
+                )
+            _check_finite(values, where, name)
+        for name, spots in frame.get("hotspots", {}).items():
+            for spot in spots.get("nodes", []) + spots.get("links", []):
+                share = spot.get("share", 0.0)
+                if not 0.0 <= share <= 1.0 + 1e-9:
+                    raise HeatmapError(
+                        f"{where}: hotspot share {share!r} for {name!r} outside [0, 1]"
+                    )
+
+
+def _check_finite(values: list[Any], where: str, name: str) -> None:
+    for value in values:
+        if not isinstance(value, (int, float)) or value != value or value in (
+            float("inf"),
+            float("-inf"),
+        ):
+            raise HeatmapError(f"{where}: metric {name!r} has non-finite value {value!r}")
+        if value < 0:
+            raise HeatmapError(f"{where}: metric {name!r} has negative value {value!r}")
+
+
+def write_heatmap_json(payload: Mapping[str, Any], path: "str | Path") -> None:
+    """Validate and atomically write one payload (sorted keys, stable bytes)."""
+    validate_heatmap(payload)
+    atomic_write_json(path, payload)
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+
+def _select_frame(payload: Mapping[str, Any], frame: int) -> dict[str, Any]:
+    frames = payload["frames"]
+    if not -len(frames) <= frame < len(frames):
+        raise HeatmapError(f"payload has {len(frames)} frames, asked for {frame}")
+    return frames[frame]
+
+
+def _frame_grid(payload: Mapping[str, Any], metric: str, frame: int) -> list[float]:
+    selected = _select_frame(payload, frame)
+    try:
+        return selected["nodes"][metric]
+    except KeyError:
+        known = ", ".join(sorted(selected.get("nodes", {})))
+        raise HeatmapError(f"metric {metric!r} not in frame; node metrics: {known}")
+
+
+def render_ascii(payload: Mapping[str, Any], metric: str, frame: int = 0) -> str:
+    """Shade the mesh as text: one cell per node, ``@`` hottest, `` `` idle."""
+    validate_heatmap(payload)
+    selected = _select_frame(payload, frame)
+    grid = _frame_grid(payload, metric, frame)
+    width = payload["mesh"]["width"]
+    height = payload["mesh"]["height"]
+    peak = max(grid)
+    window = selected["window"]
+    lines = [
+        f"{metric} [{selected['label']}] window [{window[0]}, {window[1]}) "
+        f"peak {peak:.2f} mean {sum(grid) / len(grid):.2f}",
+        "    " + " ".join(f"{x % 10}" for x in range(width)),
+    ]
+    ramp_top = len(_ASCII_RAMP) - 1
+    for y in range(height):
+        cells = []
+        for x in range(width):
+            value = grid[y * width + x]
+            shade = round(value / peak * ramp_top) if peak else 0
+            cells.append(_ASCII_RAMP[shade])
+        lines.append(f"{y:>3} " + " ".join(cells))
+    lines.append(f"scale: '{_ASCII_RAMP[1:]}' = (0, {peak:.2f}] in {ramp_top} steps")
+    return "\n".join(lines)
+
+
+def format_hotspots(payload: Mapping[str, Any], metric: str, frame: int = 0) -> str:
+    """The frame's top-k congested nodes/links with network-wide shares."""
+    validate_heatmap(payload)
+    selected = _select_frame(payload, frame)
+    spots = selected["hotspots"].get(metric)
+    if spots is None:
+        known = ", ".join(sorted(selected["hotspots"]))
+        raise HeatmapError(f"metric {metric!r} has no hotspots; known: {known}")
+    lines = [f"hotspots for {metric} [{selected['label']}]:"]
+    for spot in spots["nodes"]:
+        lines.append(
+            f"  node {spot['node']:>3} ({spot['x']},{spot['y']})  "
+            f"value {spot['value']:>9.2f}  share {spot['share'] * 100:5.1f}%"
+        )
+    for spot in spots["links"]:
+        lines.append(
+            f"  link {spot['node']:>3} {spot['port']:<6} "
+            f"value {spot['value']:>9.3f}  share {spot['share'] * 100:5.1f}%"
+        )
+    if len(lines) == 1:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def render_svg(payload: Mapping[str, Any], metric: str, frame: int = 0) -> str:
+    """A self-contained SVG mesh heatmap (deterministic byte-for-byte)."""
+    validate_heatmap(payload)
+    selected = _select_frame(payload, frame)
+    grid = _frame_grid(payload, metric, frame)
+    width = payload["mesh"]["width"]
+    height = payload["mesh"]["height"]
+    peak = max(grid)
+    cell = 48
+    pad = 40
+    svg_w = width * cell + 2 * pad
+    svg_h = height * cell + 2 * pad + 24
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{svg_w}" height="{svg_h}" '
+        f'viewBox="0 0 {svg_w} {svg_h}">',
+        f'<title>{metric} — {selected["label"]}</title>',
+        f'<rect width="{svg_w}" height="{svg_h}" fill="#ffffff"/>',
+        f'<text x="{pad}" y="{pad - 16}" font-family="monospace" font-size="14">'
+        f"{metric} [{selected['label']}] window [{selected['window'][0]}, "
+        f"{selected['window'][1]}) peak {peak:.2f}</text>",
+    ]
+    for y in range(height):
+        for x in range(width):
+            value = grid[y * width + x]
+            heat = value / peak if peak else 0.0
+            parts.append(
+                f'<rect x="{pad + x * cell}" y="{pad + y * cell}" '
+                f'width="{cell - 2}" height="{cell - 2}" fill="{_ramp_color(heat)}">'
+                f"<title>node {y * width + x} ({x},{y}): {value:.3f}</title></rect>"
+            )
+            parts.append(
+                f'<text x="{pad + x * cell + (cell - 2) / 2:.1f}" '
+                f'y="{pad + y * cell + cell / 2 + 3:.1f}" text-anchor="middle" '
+                f'font-family="monospace" font-size="10" '
+                f'fill="{"#ffffff" if heat > 0.55 else "#1a1a1a"}">{value:.1f}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _ramp_color(heat: float) -> str:
+    """Interpolate the cold->hot ramp; ``heat`` in [0, 1]."""
+    heat = min(max(heat, 0.0), 1.0)
+    channels = [
+        round(cold + (hot - cold) * heat) for cold, hot in zip(_SVG_COLD, _SVG_HOT)
+    ]
+    return "#{:02x}{:02x}{:02x}".format(*channels)

@@ -383,17 +383,25 @@ class RunLedger:
         self.last_record = None
         return None
 
-    def scan(self) -> tuple[list[dict[str, Any]], list[Path]]:
-        """All verified records (sorted by hash) plus any corrupt files."""
+    def scan(self, kind: str | None = None) -> tuple[list[dict[str, Any]], list[Path]]:
+        """All verified records (sorted by hash) plus any corrupt files.
+
+        ``kind`` keeps only records of one kind (``experiment``,
+        ``throughput``, ``bench``); corrupt files are always reported --
+        a filter must never hide damage.
+        """
         records: list[dict[str, Any]] = []
         corrupt: list[Path] = []
         if not self.root.is_dir():
             return records, corrupt
         for path in sorted(self.root.glob("*.json")):
             try:
-                records.append(self.load(path.stem))
+                record = self.load(path.stem)
             except LedgerCorruptionError:
                 corrupt.append(path)
+                continue
+            if kind is None or record.get("kind") == kind:
+                records.append(record)
         return records, corrupt
 
     # -- write path: always atomic ------------------------------------------

@@ -55,6 +55,7 @@ def build_manifest(
     command: str = "",
     artifacts: Mapping[str, str] | None = None,
     metrics_summary: Mapping[str, Any] | None = None,
+    spatial_summary: Mapping[str, Any] | None = None,
     events_emitted: int | None = None,
     events_dropped: int | None = None,
 ) -> dict[str, Any]:
@@ -79,6 +80,8 @@ def build_manifest(
         manifest["artifacts"] = dict(artifacts)
     if metrics_summary:
         manifest["metrics"] = dict(metrics_summary)
+    if spatial_summary:
+        manifest["spatial"] = dict(spatial_summary)
     if events_emitted is not None:
         manifest["events_emitted"] = events_emitted
     if events_dropped:

@@ -19,6 +19,10 @@ evaluation leans on:
   their data flits (FR only; the ``schedule_stalls`` diagnostic);
 * ``injection_backpressure`` -- network-wide mean source queue length (the
   warm-up signal, here exported over time).
+
+Every instrument here is a network-wide scalar; the per-router / per-link
+resolved counterparts (and the ``frfc heatmap`` renderers on top of them)
+live in :mod:`repro.obs.spatial`.
 """
 
 from __future__ import annotations

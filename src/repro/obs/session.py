@@ -7,6 +7,11 @@ caller asked for:
 * ``events_out``      -> JSONL event log (every kind);
 * ``trace_out``       -> Chrome trace-event JSON (Perfetto-loadable);
 * ``metrics_out``     -> CSV timeseries from the metrics registry;
+* ``spatial_out``     -> long-format CSV of the per-coordinate timeseries
+  sampled by a :class:`~repro.obs.spatial.SpatialMetricsRegistry`;
+* ``heatmap_out``     -> ``frfc-heatmap/1`` JSON aggregating the spatial
+  rows inside the measurement window (requesting either spatial output
+  attaches the spatial registry);
 * ``profile``         -> ``BENCH_obs.json`` with cycles/sec per phase;
 * ``attribution_out`` -> per-component latency attribution JSON
   (``frfc-attribution/1``); when a trace is also requested, the trace
@@ -37,6 +42,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import NetworkProbe
 from repro.obs.profile import SimProfiler
 from repro.obs.report import AttributionSummary, write_attribution_json
+from repro.obs.spatial import SpatialMetricsRegistry, write_spatial_csv
 
 if TYPE_CHECKING:
     from repro.obs.progress import ProgressReporter
@@ -52,6 +58,8 @@ class ObsSession:
         events_out: str | None = None,
         trace_out: str | None = None,
         metrics_out: str | None = None,
+        spatial_out: str | None = None,
+        heatmap_out: str | None = None,
         profile: bool = False,
         attribution_out: str | None = None,
         manifest_out: str = "obs_manifest.json",
@@ -63,6 +71,8 @@ class ObsSession:
         self.events_out = events_out
         self.trace_out = trace_out
         self.metrics_out = metrics_out
+        self.spatial_out = spatial_out
+        self.heatmap_out = heatmap_out
         self.attribution_out = attribution_out
         self.manifest_out = manifest_out
         self.bench_out = bench_out
@@ -77,8 +87,14 @@ class ObsSession:
         self.registry: MetricsRegistry | None = None
         if metrics_out:
             self.registry = MetricsRegistry(sample_every)
+        self.spatial: SpatialMetricsRegistry | None = None
+        if spatial_out is not None or heatmap_out is not None:
+            # Like attribution_out, an empty string means "sample but write
+            # nothing" -- sweeps aggregate the in-memory rows themselves.
+            self.spatial = SpatialMetricsRegistry(sample_every)
         self.profiler: SimProfiler | None = SimProfiler() if profile else None
         self.progress = progress
+        self.window: tuple[int, int] | None = None
         self._probe: NetworkProbe | None = None
         self._network: "NetworkModel | None" = None
 
@@ -88,6 +104,8 @@ class ObsSession:
         hooks: list["CycleHook"] = []
         if self.registry is not None:
             hooks.append(self.registry)
+        if self.spatial is not None:
+            hooks.append(self.spatial)
         if self.progress is not None:
             hooks.append(self.progress)
         return tuple(hooks)
@@ -108,7 +126,9 @@ class ObsSession:
             self.progress.enter_phase(name)
 
     def note_window(self, start: int, end: int) -> None:
-        """Record the measurement window (attribution separates warmup)."""
+        """Record the measurement window (attribution separates warmup,
+        the heatmap aggregates only measured spatial rows)."""
+        self.window = (start, end)
         if self.attributor is not None:
             self.attributor.note_window(start, end)
 
@@ -125,6 +145,8 @@ class ObsSession:
             self._probe = NetworkProbe(self.bus).attach(network)
         if self.registry is not None:
             self.registry.install_standard_instruments(network)
+        if self.spatial is not None:
+            self.spatial.install_standard_instruments(network)
         return self
 
     def detach(self) -> None:
@@ -164,6 +186,32 @@ class ObsSession:
         if self.metrics_out and self.registry is not None:
             write_metrics_csv(self.registry.timeseries, self.metrics_out)
             artifacts["metrics"] = self.metrics_out
+        if self.spatial_out and self.spatial is not None and network is not None:
+            write_spatial_csv(self.spatial, network, self.spatial_out)
+            artifacts["spatial"] = self.spatial_out
+        if self.heatmap_out and self.spatial is not None and network is not None:
+            if self.spatial.samples:
+                from repro.obs.heatmap import build_heatmap, write_heatmap_json
+
+                # Aggregate the measured window when it holds sampled rows;
+                # a run too short for the cadence falls back to every row.
+                window = self.window
+                if window is not None and not self.spatial.rows_in_window(*window):
+                    window = None
+                payload = build_heatmap(
+                    self.spatial,
+                    network.mesh,
+                    label=self._summary_label(config, offered_load),
+                    window=window,
+                    context={
+                        "seed": seed,
+                        "preset": preset,
+                        "offered_load": offered_load,
+                        "packet_length": packet_length,
+                    },
+                )
+                write_heatmap_json(payload, self.heatmap_out)
+                artifacts["heatmap"] = self.heatmap_out
         if self.attribution_out and self.attributor is not None:
             summary = self.attribution_summary(
                 label=self._summary_label(config, offered_load)
@@ -200,12 +248,34 @@ class ObsSession:
                 command=command,
                 artifacts=artifacts,
                 metrics_summary=self.registry.summary() if self.registry else None,
+                spatial_summary=self.spatial.summary() if self.spatial else None,
                 events_emitted=self.bus.events_emitted if self.collector else None,
                 events_dropped=self.collector.dropped if self.collector else None,
             )
             write_manifest(manifest, self.manifest_out)
             artifacts["manifest"] = self.manifest_out
         return artifacts
+
+    def declared_artifacts(self) -> dict[str, str]:
+        """The artifact paths this session was asked to produce.
+
+        Keyed like :meth:`finalize`'s return value; used by the harness to
+        record artifact provenance in the run ledger before/without calling
+        ``finalize`` itself.
+        """
+        declared: dict[str, str] = {}
+        for kind, path in (
+            ("events", self.events_out),
+            ("trace", self.trace_out),
+            ("metrics", self.metrics_out),
+            ("spatial", self.spatial_out),
+            ("heatmap", self.heatmap_out),
+            ("attribution", self.attribution_out),
+            ("manifest", self.manifest_out),
+        ):
+            if path:
+                declared[kind] = path
+        return declared
 
     def attribution_summary(self, label: str = "") -> AttributionSummary | None:
         """Roll the attributor's records up (None when nothing was recorded)."""

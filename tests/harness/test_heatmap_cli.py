@@ -1,0 +1,139 @@
+"""`frfc heatmap` end to end, pinning the paper's spatial story.
+
+One quick 8x8 FR point at saturation is simulated once (module-scoped);
+every test below re-reads its ``frfc-heatmap/1`` JSON.  The acceptance
+criterion rides on that payload: under XY dimension-ordered routing the
+center of the mesh carries more traffic than the rim, so center-mesh
+reservation-table occupancy must exceed edge occupancy.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.runner import main
+from repro.obs.heatmap import validate_heatmap
+
+SATURATION_LOAD = "0.85"
+
+
+@pytest.fixture(scope="module")
+def saturated(tmp_path_factory):
+    """The heatmap JSON of one quick FR6 point at saturation (8x8 mesh)."""
+    out = tmp_path_factory.mktemp("heatmap") / "hm.json"
+    assert (
+        main(
+            [
+                "--preset", "quick",
+                "heatmap", "FR6", SATURATION_LOAD,
+                "--metric", "reservation_occupancy",
+                "--json-out", str(out),
+            ]
+        )
+        == 0
+    )
+    return out
+
+
+def test_payload_validates_and_names_the_run(saturated, capsys):
+    payload = json.loads(saturated.read_text())
+    validate_heatmap(payload)
+    assert payload["mesh"] == {"width": 8, "height": 8}
+    assert payload["metrics"]["reservation_occupancy"] == "level"
+    assert payload["metrics"]["link_utilization"] == "rate"
+    frame = payload["frames"][0]
+    assert frame["label"].startswith("FR6 load=0.85")
+    # The frame aggregates the measurement window, not warmup.
+    assert frame["window"][0] > 0
+
+
+def test_center_mesh_occupancy_exceeds_edge(saturated):
+    """XY contention made visible: the acceptance criterion of the issue."""
+    payload = json.loads(saturated.read_text())
+    width = payload["mesh"]["width"]
+    height = payload["mesh"]["height"]
+    grid = payload["frames"][0]["nodes"]["reservation_occupancy"]
+    center, edge = [], []
+    for node, value in enumerate(grid):
+        x, y = node % width, node // width
+        if x in (width // 2 - 1, width // 2) and y in (height // 2 - 1, height // 2):
+            center.append(value)
+        elif x in (0, width - 1) or y in (0, height - 1):
+            edge.append(value)
+    assert len(center) == 4 and len(edge) == 28
+    center_mean = sum(center) / len(center)
+    edge_mean = sum(edge) / len(edge)
+    assert center_mean > edge_mean, (
+        f"center reservation occupancy {center_mean:.2f} does not exceed "
+        f"edge {edge_mean:.2f} at saturation"
+    )
+
+
+def test_hotspots_are_interior_at_saturation(saturated):
+    payload = json.loads(saturated.read_text())
+    spots = payload["frames"][0]["hotspots"]["reservation_occupancy"]["nodes"]
+    width = payload["mesh"]["width"]
+    assert spots, "no hotspots reported"
+    # The single hottest router sits strictly inside the mesh rim.
+    hottest = spots[0]
+    assert 0 < hottest["x"] < width - 1
+    assert 0 < hottest["y"] < width - 1
+    assert 0.0 < hottest["share"] <= 1.0
+
+
+def test_from_rerenders_without_simulating(saturated, capsys):
+    assert (
+        main(
+            [
+                "heatmap", "--from", str(saturated),
+                "--metric", "reservation_occupancy",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "reservation_occupancy" in out
+    assert "hotspots" in out
+    # No simulation ran: no experiment summary line.
+    assert "accepted=" not in out
+
+
+def test_svg_export_from_payload(saturated, capsys, tmp_path):
+    svg = tmp_path / "hm.svg"
+    assert (
+        main(
+            [
+                "heatmap", "--from", str(saturated),
+                "--metric", "reservation_occupancy",
+                "--svg-out", str(svg),
+            ]
+        )
+        == 0
+    )
+    text = svg.read_text()
+    assert text.startswith("<svg ")
+    assert text.count("<rect ") == 1 + 64
+
+
+def test_unknown_metric_fails_cleanly(saturated):
+    with pytest.raises(SystemExit, match="node metrics"):
+        main(["heatmap", "--from", str(saturated), "--metric", "nope"])
+
+
+def test_bad_window_spec_fails_cleanly(saturated):
+    with pytest.raises(SystemExit, match="half-open"):
+        main(["heatmap", "--from", str(saturated), "--window", "20:10"])
+    with pytest.raises(SystemExit, match="A:B"):
+        main(["heatmap", "--from", str(saturated), "--window", "abc"])
+
+
+def test_heatmap_needs_config_or_from():
+    with pytest.raises(SystemExit, match="CFG LOAD"):
+        main(["heatmap"])
+
+
+def test_heatmap_out_flag_restricted_to_point_obs_sweep():
+    with pytest.raises(SystemExit, match="heatmap-out"):
+        main(["--heatmap-out", "x.json", "table1"])

@@ -84,6 +84,40 @@ def test_runs_list_show_diff(store, capsys):
     assert "mean_latency" in diff and "delta" in diff
 
 
+def test_runs_list_kind_filter(store, capsys):
+    # Drop a bench-gate record into the experiment store, as the bench gate
+    # itself would, then check each filter sees only its own kind.
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(store)
+    identity = ledger.bench_identity(
+        model="FR",
+        workload={"label": "gate", "config": "FR6", "offered_load": 0.2,
+                  "preset": "quick", "seed": 1},
+    )
+    ledger.record_bench(identity, {"cycles": 100})
+
+    assert main(["runs", "list", "--store", str(store)]) == 0
+    unfiltered = capsys.readouterr().out.splitlines()
+    assert any("bench" in line for line in unfiltered)
+    assert any("experiment" in line for line in unfiltered)
+
+    assert main(["runs", "list", "--store", str(store), "--kind", "experiment"]) == 0
+    experiments = capsys.readouterr().out.splitlines()
+    assert len(experiments) == 2
+    assert all("experiment" in line for line in experiments)
+
+    assert main(["runs", "list", "--store", str(store), "--kind", "bench"]) == 0
+    benches = capsys.readouterr().out.splitlines()
+    assert len(benches) == 1 and "bench" in benches[0]
+
+    assert main(["runs", "list", "--store", str(store), "--kind", "throughput"]) == 0
+    assert "no throughput records" in capsys.readouterr().out
+
+    with pytest.raises(SystemExit, match="list"):
+        main(["runs", "gc", "--store", str(store), "--kind", "bench"])
+
+
 def test_runs_rejects_unknown_and_ambiguous_prefixes(store):
     with pytest.raises(SystemExit, match="no run record"):
         main(["runs", "show", "zzzz", "--store", str(store)])

@@ -99,6 +99,51 @@ def test_attached_probe_is_a_pure_observer(build) -> None:
     assert baseline.hexdigest() == digest.hexdigest()
 
 
+SEEDED_BUILDERS = {
+    "fr": lambda seed: FRNetwork(
+        FRConfig(data_buffers_per_input=6),
+        mesh=Mesh2D(4, 4),
+        injection_rate=0.05,
+        seed=seed,
+    ),
+    "vc": lambda seed: VCNetwork(
+        VCConfig(num_vcs=2, buffers_per_vc=4),
+        mesh=Mesh2D(4, 4),
+        injection_rate=0.05,
+        seed=seed,
+    ),
+    "wormhole": lambda seed: WormholeNetwork(
+        WormholeConfig(buffers_per_input=8),
+        mesh=Mesh2D(4, 4),
+        injection_rate=0.05,
+        seed=seed,
+    ),
+}
+
+
+@pytest.mark.parametrize("model", sorted(SEEDED_BUILDERS))
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_spatial_registry_is_digest_neutral(model: str, seed: int) -> None:
+    """A SpatialMetricsRegistry riding the cycle-hook slot samples every
+    coordinate yet leaves the run digest-identical to an unobserved one."""
+    from repro.obs.spatial import SpatialMetricsRegistry
+
+    reseeded = SEEDED_BUILDERS[model]
+    baseline = _run(reseeded(seed), "never-observed")
+
+    network = reseeded(seed)
+    registry = SpatialMetricsRegistry(sample_every=50)
+    registry.install_standard_instruments(network)
+    network.set_measure_window(0, CYCLES)
+    Simulator(network, observers=(registry,)).step(CYCLES)
+    digest = digest_network(network, CYCLES, "spatially-observed")
+
+    assert registry.samples, "the registry sampled nothing"
+    diff = baseline.diff_fields(digest)
+    assert not diff, f"spatial registry perturbed the run: {diff}"
+    assert baseline.hexdigest() == digest.hexdigest()
+
+
 @pytest.mark.parametrize("build", BUILDERS)
 def test_progress_hook_is_digest_neutral(build) -> None:
     """A ProgressReporter riding the cycle-hook slot (as the ledgered sweep

@@ -1,0 +1,237 @@
+"""The ``frfc-heatmap/1`` exporter: schema, aggregation, hotspots, renderers."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.heatmap import (
+    HEATMAP_SCHEMA,
+    HeatmapError,
+    assemble_heatmap,
+    build_frame,
+    build_heatmap,
+    format_hotspots,
+    render_ascii,
+    render_svg,
+    validate_heatmap,
+    write_heatmap_json,
+)
+from repro.obs.spatial import LEVEL, RATE, SpatialMetricsRegistry, SpatialSample
+from repro.topology.mesh import Mesh2D
+
+
+def _registry(mesh: Mesh2D, rows: int = 4, sample_every: int = 10):
+    """A hand-filled registry: node id as the level, constant 0.5 rate."""
+    registry = SpatialMetricsRegistry(sample_every=sample_every)
+    registry.node_metrics = {"occ": LEVEL, "stalls": RATE}
+    registry.link_metrics = {"util": RATE}
+    registry.link_keys = [(0, 1), (1, 3)]
+    window_start = 0
+    for index in range(rows):
+        cycle = index * sample_every
+        window_end = cycle + 1
+        registry.samples.append(
+            SpatialSample(
+                cycle=cycle,
+                window_start=window_start,
+                window_end=window_end,
+                nodes={
+                    "occ": [float(node + index) for node in range(mesh.num_nodes)],
+                    "stalls": [1.0] * mesh.num_nodes,
+                },
+                links={"util": [0.5, 0.25]},
+            )
+        )
+        window_start = window_end
+    return registry
+
+
+class TestBuild:
+    def test_single_frame_payload_validates(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh), mesh, label="t")
+        validate_heatmap(payload)
+        assert payload["schema"] == HEATMAP_SCHEMA
+        assert payload["mesh"] == {"width": 2, "height": 2}
+        assert len(payload["frames"]) == 1
+
+    def test_level_metrics_aggregate_as_plain_mean(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh, rows=4), mesh, label="t")
+        # occ at node n in row i is n + i; mean over i in 0..3 is n + 1.5.
+        assert payload["frames"][0]["nodes"]["occ"] == [1.5, 2.5, 3.5, 4.5]
+
+    def test_rate_metrics_aggregate_window_weighted(self) -> None:
+        mesh = Mesh2D(2, 2)
+        registry = _registry(mesh, rows=3, sample_every=10)
+        # Windows are [0,1), [1,11), [11,21): lengths 1, 10, 10.  A constant
+        # rate must aggregate back to itself under length weighting.
+        payload = build_heatmap(registry, mesh, label="t")
+        assert payload["frames"][0]["links"]["util"] == [0.5, 0.25]
+        assert payload["frames"][0]["nodes"]["stalls"] == [1.0] * 4
+
+    def test_at_selects_the_containing_window(self) -> None:
+        mesh = Mesh2D(2, 2)
+        frame = build_frame(_registry(mesh), mesh, label="t", at=15)
+        # Cycle 15 lives in row 2's window [11, 21): occ is node + 2.
+        assert frame["nodes"]["occ"] == [2.0, 3.0, 4.0, 5.0]
+        assert frame["window"] == [11, 21]
+
+    def test_window_selects_contained_rows_half_open(self) -> None:
+        mesh = Mesh2D(2, 2)
+        frame = build_frame(_registry(mesh), mesh, label="t", window=(0, 11))
+        # Rows [0,1) and [1,11) fit inside [0,11); row [11,21) does not.
+        assert frame["rows"] == 2
+        assert frame["nodes"]["occ"] == [0.5, 1.5, 2.5, 3.5]
+
+    def test_empty_selection_raises(self) -> None:
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(HeatmapError, match="no sampled"):
+            build_frame(_registry(mesh), mesh, label="t", at=999)
+        with pytest.raises(HeatmapError, match="no sampled"):
+            build_frame(_registry(mesh), mesh, label="t", window=(500, 600))
+
+    def test_at_and_window_together_rejected(self) -> None:
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(HeatmapError, match="not both"):
+            build_frame(_registry(mesh), mesh, label="t", at=5, window=(0, 10))
+
+    def test_multi_frame_assembly(self) -> None:
+        mesh = Mesh2D(2, 2)
+        registry = _registry(mesh)
+        frames = [
+            build_frame(registry, mesh, label="load=0.10"),
+            build_frame(registry, mesh, label="load=0.50"),
+        ]
+        payload = assemble_heatmap(registry, mesh, frames)
+        validate_heatmap(payload)
+        assert [frame["label"] for frame in payload["frames"]] == [
+            "load=0.10",
+            "load=0.50",
+        ]
+
+
+class TestHotspots:
+    def test_top_k_sorted_with_shares(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh), mesh, label="t", top_k=2)
+        spots = payload["frames"][0]["hotspots"]["occ"]["nodes"]
+        assert [spot["node"] for spot in spots] == [3, 2]
+        total = 1.5 + 2.5 + 3.5 + 4.5
+        assert spots[0]["value"] == 4.5
+        assert spots[0]["share"] == pytest.approx(4.5 / total)
+        assert spots[0]["x"] == 1 and spots[0]["y"] == 1
+
+    def test_link_hotspots_name_ports(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh), mesh, label="t")
+        spots = payload["frames"][0]["hotspots"]["util"]["links"]
+        assert spots[0]["value"] == 0.5
+        assert spots[0]["node"] == 0
+        assert isinstance(spots[0]["port"], str)
+
+    def test_all_zero_metric_yields_zero_shares(self) -> None:
+        mesh = Mesh2D(2, 2)
+        registry = _registry(mesh, rows=1)
+        registry.samples[0].nodes["occ"] = [0.0, 0.0, 0.0, 0.0]
+        payload = build_heatmap(registry, mesh, label="t")
+        for spot in payload["frames"][0]["hotspots"]["occ"]["nodes"]:
+            assert spot["share"] == 0.0
+
+    def test_format_hotspots_renders_every_entry(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh), mesh, label="t", top_k=3)
+        text = format_hotspots(payload, "occ")
+        assert text.count("node") >= 3
+        with pytest.raises(HeatmapError, match="no hotspots"):
+            format_hotspots(payload, "nope")
+
+
+class TestValidation:
+    def _payload(self):
+        mesh = Mesh2D(2, 2)
+        return build_heatmap(_registry(mesh), mesh, label="t")
+
+    def test_rejects_wrong_schema(self) -> None:
+        payload = self._payload()
+        payload["schema"] = "frfc-heatmap/0"
+        with pytest.raises(HeatmapError, match="schema"):
+            validate_heatmap(payload)
+
+    def test_rejects_grid_mesh_mismatch(self) -> None:
+        payload = self._payload()
+        payload["frames"][0]["nodes"]["occ"] = [1.0, 2.0]
+        with pytest.raises(HeatmapError, match="cells"):
+            validate_heatmap(payload)
+
+    def test_rejects_undeclared_metric(self) -> None:
+        payload = self._payload()
+        payload["frames"][0]["nodes"]["ghost"] = [0.0, 0.0, 0.0, 0.0]
+        with pytest.raises(HeatmapError, match="undeclared"):
+            validate_heatmap(payload)
+
+    def test_rejects_negative_and_non_finite_values(self) -> None:
+        payload = self._payload()
+        broken = copy.deepcopy(payload)
+        broken["frames"][0]["nodes"]["occ"][0] = -1.0
+        with pytest.raises(HeatmapError, match="negative"):
+            validate_heatmap(broken)
+        broken = copy.deepcopy(payload)
+        broken["frames"][0]["nodes"]["occ"][0] = float("nan")
+        with pytest.raises(HeatmapError, match="non-finite"):
+            validate_heatmap(broken)
+
+    def test_rejects_inverted_window(self) -> None:
+        payload = self._payload()
+        payload["frames"][0]["window"] = [20, 10]
+        with pytest.raises(HeatmapError, match="half-open"):
+            validate_heatmap(payload)
+
+    def test_rejects_empty_frames(self) -> None:
+        payload = self._payload()
+        payload["frames"] = []
+        with pytest.raises(HeatmapError, match="frames"):
+            validate_heatmap(payload)
+
+    def test_roundtrips_through_json(self, tmp_path) -> None:
+        payload = self._payload()
+        path = tmp_path / "hm.json"
+        write_heatmap_json(payload, path)
+        loaded = json.loads(path.read_text())
+        validate_heatmap(loaded)
+        assert loaded == payload
+
+
+class TestRenderers:
+    def test_ascii_shows_every_mesh_row(self) -> None:
+        mesh = Mesh2D(3, 2)
+        registry = _registry(mesh)
+        text = render_ascii(build_heatmap(registry, mesh, label="t"), "occ")
+        # Header + column ruler + one line per mesh row + scale line.
+        assert len(text.splitlines()) == 2 + mesh.height + 1
+        assert "occ" in text
+
+    def test_ascii_unknown_metric_raises(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh), mesh, label="t")
+        with pytest.raises(HeatmapError, match="node metrics"):
+            render_ascii(payload, "nope")
+
+    def test_svg_is_self_contained_with_one_rect_per_node(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh), mesh, label="t")
+        svg = render_svg(payload, "occ")
+        assert svg.startswith("<svg ")
+        assert svg.rstrip().endswith("</svg>")
+        # One background rect plus one per node.
+        assert svg.count("<rect ") == 1 + mesh.num_nodes
+        assert "http://www.w3.org/2000/svg" in svg
+
+    def test_frame_index_out_of_range(self) -> None:
+        mesh = Mesh2D(2, 2)
+        payload = build_heatmap(_registry(mesh), mesh, label="t")
+        with pytest.raises(HeatmapError, match="frames"):
+            render_ascii(payload, "occ", frame=3)

@@ -138,6 +138,47 @@ class TestManifest:
         assert manifest["events_dropped"] == 42
 
 
+class TestSpatialSession:
+    def test_spatial_and_heatmap_artifacts(self, tmp_path) -> None:
+        from repro.obs.heatmap import validate_heatmap
+
+        session, artifacts = _observed_point(
+            tmp_path,
+            spatial_out=str(tmp_path / "spatial.csv"),
+            heatmap_out=str(tmp_path / "heatmap.json"),
+        )
+        assert {"spatial", "heatmap", "manifest"} <= set(artifacts)
+        header = (tmp_path / "spatial.csv").read_text().splitlines()[0]
+        assert header == "cycle,window_start,window_end,metric,node,port,x,y,value"
+        payload = json.loads((tmp_path / "heatmap.json").read_text())
+        validate_heatmap(payload)
+        # The frame aggregates the measurement window run_experiment noted.
+        assert session.window is not None
+        start, end = session.window
+        window = payload["frames"][0]["window"]
+        assert start <= window[0] and window[1] <= end
+        # The manifest carries the spatial shape summary.
+        manifest = json.loads((tmp_path / "obs_manifest.json").read_text())
+        assert manifest["spatial"]["rows"] > 0
+        assert "buffer_occupancy" in manifest["spatial"]["node_metrics"]
+
+    def test_declared_artifacts_match_requested_outputs(self, tmp_path) -> None:
+        session = ObsSession(
+            metrics_out=str(tmp_path / "m.csv"),
+            heatmap_out=str(tmp_path / "h.json"),
+            manifest_out=str(tmp_path / "man.json"),
+        )
+        assert set(session.declared_artifacts()) == {
+            "metrics",
+            "heatmap",
+            "manifest",
+        }
+        # Empty-string outputs (sample in memory, write nothing) stay out.
+        silent = ObsSession(heatmap_out="", manifest_out="")
+        assert silent.spatial is not None
+        assert silent.declared_artifacts() == {}
+
+
 class TestAttributionSession:
     def test_attribution_artifact_and_waterfall(self, tmp_path) -> None:
         from repro.obs.report import validate_attribution
